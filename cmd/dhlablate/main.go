@@ -1,0 +1,135 @@
+// Command dhlablate runs the ablation and discussion-section (§VI) studies:
+// docking-time sensitivity, acceleration/peak-power trade-off, regenerative
+// braking, passive dual-rail braking, SSD-density scaling, pipelined
+// transfers, thermal budgets, stabilisation power, and the sneakernet
+// baselines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sneakernet"
+	"repro/internal/storage"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dhlablate: ")
+	cfg := core.DefaultConfig()
+
+	dock := report.NewTable("Docking-time sensitivity (§V-A observation a)",
+		"dock_s", "launch_s", "dock_share", "bw_TB/s")
+	rows, err := core.DockTimeSensitivity(cfg, []units.Seconds{0, 1, 2, 3, 4, 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		dock.AddRow(float64(r.DockTime), float64(r.Launch.Time), r.DockShare,
+			float64(r.Launch.Bandwidth)/1e12)
+	}
+	render(dock)
+
+	acc := report.NewTable("Acceleration vs peak power (§V-A note)",
+		"accel_m/s2", "LIM_m", "launch_s", "extra_s", "peak_kW")
+	arows, err := core.AccelerationTradeoff(cfg, []units.MetresPerSecond2{250, 500, 1000, 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range arows {
+		acc.AddRow(float64(r.Acceleration), float64(r.LIMLength),
+			float64(r.Launch.Time), float64(r.ExtraTime), r.Launch.PeakPower.KW())
+	}
+	render(acc)
+
+	regen := report.NewTable("Regenerative braking (§VI, 16–70%)",
+		"regen", "energy_kJ", "saving")
+	rrows, err := core.RegenerativeBrakingSavings(cfg, []float64{0, 0.16, 0.3, 0.5, 0.7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rrows {
+		regen.AddRow(r.Regen, r.Energy.KJ(), float64(r.Saving))
+	}
+	render(regen)
+
+	active, passive, saving, err := core.PassiveBrakeSavings(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Passive eddy brakes (dual rail, §VI): %v → %v per launch (%v)\n\n",
+		active, passive, saving)
+
+	dens := report.NewTable("SSD density scaling (§II-A: upgrade carts, not the track)",
+		"year", "ssd", "cart", "bw_TB/s", "GB/J")
+	drows, err := core.DefaultDensityScaling()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range drows {
+		dens.AddRow(r.Year, r.SSDCapacity.String(), r.CartCapacity.String(),
+			float64(r.Launch.Bandwidth)/1e12, r.Launch.Efficiency)
+	}
+	render(dens)
+
+	pipe := report.NewTable("Pipelined 29 PB transfer (§V-B refinements)",
+		"mode", "cadence_s", "time", "speedup_vs_TableVI")
+	for _, m := range []struct {
+		name string
+		opt  core.PipelineOptions
+	}{
+		{"single rail", core.PipelineOptions{DockStations: 1}},
+		{"dual rail", core.PipelineOptions{DualRail: true, DockStations: 1}},
+		{"dual rail + 4 docks + reads", core.PipelineOptions{DualRail: true, DockStations: 4, ReadRate: 227.2 * units.GBps}},
+	} {
+		pt, err := core.TransferPipelined(cfg, core.PaperDataset, m.opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pipe.AddRow(m.name, float64(pt.Cadence), pt.Time.String(), float64(pt.Speedup))
+	}
+	render(pipe)
+
+	th := report.NewTable("Thermal budget, 32-SSD cart under load (§VI)",
+		"sink", "steady_C", "sustained", "sustainable_read_frac")
+	for _, s := range []thermal.Sink{thermal.ConductiveFins, thermal.BareM2} {
+		a, err := thermal.Analyze(thermal.CartThermals{Sink: s, NumSSDs: 32, Ambient: thermal.DefaultAmbient})
+		if err != nil {
+			log.Fatal(err)
+		}
+		th.AddRow(s.Name, a.SteadyTemp, fmt.Sprintf("%v", a.SustainedFullLoad), a.SustainableReadFraction)
+	}
+	render(th)
+
+	p, err := control.StabilisationPowerPerCart()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Active stabilisation (§III-B.2): %v per cart — negligible vs the %v launch peak.\n\n",
+		p, units.Watts(75.2*1000))
+
+	courier, err := sneakernet.DefaultCourier().Carry(29*units.PB, storage.WD22TB, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dhl, err := core.Transfer(cfg, 29*units.PB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Sneakernet baseline (§II-C): carrying 29 PB by hand = %d drives, %d trips, %v, %v wages;\n"+
+		"the DHL does it in %v for %v of electricity.\n",
+		courier.Drives, courier.Trips, courier.Time, courier.LaborCost, dhl.Time, dhl.Energy)
+}
+
+func render(t *report.Table) {
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,60 @@
+// Command dhlcost regenerates the paper's Table VIII materials cost model.
+//
+// Usage:
+//
+//	dhlcost
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cost"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dhlcost: ")
+
+	a := report.NewTable("Table VIII(a) — total rail cost",
+		"component", "USD/kg", "100m", "500m", "1000m")
+	rails := []cost.RailCost{cost.Rail(100), cost.Rail(500), cost.Rail(1000)}
+	a.AddRow("Aluminium", float64(cost.AluminiumPerKg),
+		rails[0].Aluminium.String(), rails[1].Aluminium.String(), rails[2].Aluminium.String())
+	a.AddRow("PVC (rail)", float64(cost.PVCPerKg),
+		rails[0].PVCRail.String(), rails[1].PVCRail.String(), rails[2].PVCRail.String())
+	a.AddRow("PVC (vacuum tube)", float64(cost.PVCPerKg),
+		rails[0].PVCTube.String(), rails[1].PVCTube.String(), rails[2].PVCTube.String())
+	a.AddRow("Total", "-",
+		rails[0].Total().String(), rails[1].Total().String(), rails[2].Total().String())
+	if err := a.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	b := report.NewTable("Table VIII(b) — total accelerator/decelerator cost",
+		"component", "USD/kg", "100m/s", "200m/s", "300m/s")
+	lims := []cost.LIMCost{cost.LIM(100), cost.LIM(200), cost.LIM(300)}
+	b.AddRow("Copper wire", float64(cost.CopperPerKg),
+		lims[0].Copper.String(), lims[1].Copper.String(), lims[2].Copper.String())
+	b.AddRow("VFD", "-", lims[0].VFD.String(), lims[1].VFD.String(), lims[2].VFD.String())
+	b.AddRow("Total", "-", lims[0].Total().String(), lims[1].Total().String(), lims[2].Total().String())
+	if err := b.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	c := report.NewTable("Table VIII(c) — overall total cost",
+		"distance", "100m/s", "200m/s", "300m/s")
+	for _, d := range []units.Metres{100, 500, 1000} {
+		c.AddRow(fmt.Sprintf("%gm", float64(d)),
+			cost.Overall(d, 100).String(), cost.Overall(d, 200).String(), cost.Overall(d, 300).String())
+	}
+	if err := c.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nYardstick: a large 400Gb/s switch costs about %v.\n", cost.ComparableSwitchCost)
+}

@@ -1,0 +1,106 @@
+// Command dhlmodel runs the analytical DHL design-space exploration and the
+// 29 PB bulk-transfer comparison, regenerating the paper's Table VI.
+//
+// Usage:
+//
+//	dhlmodel [-sweep paper|full] [-dataset-pb N] [-format table|csv] [-exact]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/physics"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dhlmodel: ")
+	var (
+		sweep     = flag.String("sweep", "paper", "parameter sweep: \"paper\" (the 13 Table VI rows) or \"full\" (all 27 combinations)")
+		datasetPB = flag.Float64("dataset-pb", 29, "dataset size to transfer, in PB")
+		format    = flag.String("format", "table", "output format: \"table\" or \"csv\"")
+		exact     = flag.Bool("exact", false, "use exact trapezoidal ramp timing instead of the paper's accounting")
+	)
+	flag.Parse()
+
+	var rows []core.TableVIRow
+	var err error
+	switch *sweep {
+	case "paper":
+		rows, err = core.DesignSpace()
+	case "full":
+		rows, err = core.FullFactorialSweep()
+	default:
+		log.Fatalf("unknown -sweep %q", *sweep)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *datasetPB <= 0 {
+		log.Fatalf("-dataset-pb must be positive, got %v", *datasetPB)
+	}
+	dataset := units.Bytes(*datasetPB) * units.PB
+	// Re-evaluate against the requested dataset / time model if they differ
+	// from the defaults the sweep used.
+	for i := range rows {
+		cfg := rows[i].Launch.Config
+		if *exact {
+			cfg.TimeModel = physics.TimeModelExact
+		}
+		tr, err := core.Transfer(cfg, dataset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows[i] = core.TableVIRow{Launch: tr.Launch, Transfer: tr, Comparisons: core.CompareAll(tr)}
+	}
+
+	headers := []string{"config", "energy_kJ", "eff_GB/J", "time_s", "bw_TB/s", "peak_kW",
+		"trips", "speedup", "red_A0", "red_A1", "red_A2", "red_B", "red_C"}
+	cells := func(r core.TableVIRow) []any {
+		out := []any{
+			r.Launch.Config.String(),
+			r.Launch.Energy.KJ(),
+			r.Launch.Efficiency,
+			float64(r.Launch.Time),
+			float64(r.Launch.Bandwidth) / 1e12,
+			r.Launch.PeakPower.KW(),
+			r.Transfer.TotalTrips,
+			float64(r.Comparisons[0].TimeSpeedup),
+		}
+		for _, c := range r.Comparisons {
+			out = append(out, float64(c.EnergyReduction))
+		}
+		return out
+	}
+
+	switch *format {
+	case "table":
+		t := report.NewTable(fmt.Sprintf("Table VI — DHL design space, moving %v (speedup & energy reductions vs 400Gb/s scenarios)", dataset), headers...)
+		for _, r := range rows {
+			t.AddRow(cells(r)...)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	case "csv":
+		var data [][]string
+		for _, r := range rows {
+			var row []string
+			for _, c := range cells(r) {
+				row = append(row, fmt.Sprintf("%v", c))
+			}
+			data = append(data, row)
+		}
+		if err := report.WriteCSV(os.Stdout, headers, data); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown -format %q", *format)
+	}
+}

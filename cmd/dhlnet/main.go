@@ -1,0 +1,55 @@
+// Command dhlnet evaluates the optical-network energy baseline of §II-C:
+// the five routes of Figure 2 and their power/energy for a bulk transfer.
+//
+// Usage:
+//
+//	dhlnet [-dataset-pb N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/netmodel"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dhlnet: ")
+	datasetPB := flag.Float64("dataset-pb", 29, "dataset size in PB")
+	flag.Parse()
+	if *datasetPB <= 0 {
+		log.Fatalf("-dataset-pb must be positive, got %v", *datasetPB)
+	}
+	dataset := units.Bytes(*datasetPB) * units.PB
+
+	fmt.Printf("Transfer of %v over one %v link: %v (%.2f days)\n\n",
+		dataset, netmodel.LineRate, netmodel.TransferTime(dataset),
+		netmodel.TransferTime(dataset).Days())
+
+	t := report.NewTable("Figure 2 — route power and energy",
+		"route", "description", "power_W", "energy_MJ", "eff_GB/J")
+	for _, s := range netmodel.Scenarios() {
+		p := s.Power()
+		t.AddRow(s.String(), s.Describe(), float64(p.Total()),
+			p.Energy(dataset).MJ(), p.Efficiency(dataset))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	d := report.NewTable("Derived fat-tree routes (must match the scenario port counts)",
+		"route", "xcvrs", "NICs", "passive_ports", "active_ports")
+	for _, s := range netmodel.Scenarios() {
+		rp := netmodel.ScenarioRoutes()[s]
+		d.AddRow(s.String(), rp.Transceivers, rp.NICs, rp.PassivePorts, rp.ActivePorts)
+	}
+	if err := d.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Command dhlrepro regenerates every table and figure of the paper in one
+// run, writing text and CSV artefacts into an output directory — the
+// repository's "make all figures" entry point.
+//
+// Usage:
+//
+//	dhlrepro [-out out]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/astra"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/netmodel"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dhlrepro: ")
+	outDir := flag.String("out", "out", "output directory")
+	flag.Parse()
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		path := filepath.Join(*outDir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	}
+
+	// Figure 2: route energies.
+	{
+		var b bytes.Buffer
+		t := report.NewTable("Figure 2 — network route energies for 29 PB",
+			"route", "power_W", "energy_MJ")
+		for _, s := range netmodel.Scenarios() {
+			t.AddRow(s.String(), float64(s.Power().Total()),
+				s.Power().Energy(core.PaperDataset).MJ())
+		}
+		must(t.Render(&b))
+		write("fig2_route_energies.txt", b.Bytes())
+	}
+
+	// Table VI.
+	{
+		rows, err := core.DesignSpace()
+		must(err)
+		var b bytes.Buffer
+		headers := []string{"config", "energy_kJ", "eff_GB_per_J", "time_s", "bw_TB_per_s",
+			"peak_kW", "trips", "speedup", "red_A0", "red_A1", "red_A2", "red_B", "red_C"}
+		var data [][]string
+		for _, r := range rows {
+			row := []string{
+				r.Launch.Config.String(),
+				fmt.Sprintf("%.4g", r.Launch.Energy.KJ()),
+				fmt.Sprintf("%.4g", r.Launch.Efficiency),
+				fmt.Sprintf("%.4g", float64(r.Launch.Time)),
+				fmt.Sprintf("%.4g", float64(r.Launch.Bandwidth)/1e12),
+				fmt.Sprintf("%.4g", r.Launch.PeakPower.KW()),
+				fmt.Sprintf("%d", r.Transfer.TotalTrips),
+				fmt.Sprintf("%.4g", float64(r.Comparisons[0].TimeSpeedup)),
+			}
+			for _, c := range r.Comparisons {
+				row = append(row, fmt.Sprintf("%.4g", float64(c.EnergyReduction)))
+			}
+			data = append(data, row)
+		}
+		must(report.WriteCSV(&b, headers, data))
+		write("table6_design_space.csv", b.Bytes())
+	}
+
+	// Table VII.
+	{
+		w := astra.DefaultDLRM()
+		dhl := astra.DefaultDHL()
+		var b bytes.Buffer
+		emit := func(title string, rows []astra.SchemeResult, factor string) {
+			t := report.NewTable(title, "scheme", "power_kW", "time_s", factor)
+			for _, r := range rows {
+				t.AddRow(r.Scheme, r.Power.KW(), float64(r.TimePerIter), float64(r.Factor))
+			}
+			must(t.Render(&b))
+			b.WriteString("\n")
+		}
+		iso, err := astra.IsoPower(w, dhl)
+		must(err)
+		emit("Table VII(a) — iso-power", iso, "slowdown")
+		isoT, err := astra.IsoTime(w, dhl)
+		must(err)
+		emit("Table VII(b) — iso-time", isoT, "power_increase")
+		write("table7_training.txt", b.Bytes())
+	}
+
+	// Figure 6: CSV series and ASCII plot.
+	{
+		curves, err := astra.Figure6(astra.DefaultDLRM(), astra.DefaultFigure6Options())
+		must(err)
+		var csvB bytes.Buffer
+		var rows [][]string
+		plot := report.Plot{
+			Title:  "Figure 6 — time per DLRM iteration vs communication power",
+			XLabel: "power (W)", YLabel: "time (s)", Width: 90, Height: 28,
+		}
+		for _, c := range curves {
+			s := report.Series{Name: c.Name}
+			for _, p := range c.Points {
+				rows = append(rows, []string{c.Name,
+					fmt.Sprintf("%.6g", float64(p.Power)), fmt.Sprintf("%.6g", float64(p.Time))})
+				s.X = append(s.X, float64(p.Power))
+				s.Y = append(s.Y, float64(p.Time))
+			}
+			plot.Add(s)
+		}
+		must(report.WriteCSV(&csvB, []string{"series", "power_w", "time_s"}, rows))
+		write("fig6_curves.csv", csvB.Bytes())
+		var plotB bytes.Buffer
+		must(plot.Render(&plotB))
+		write("fig6_plot.txt", plotB.Bytes())
+	}
+
+	// Table VIII.
+	{
+		var b bytes.Buffer
+		t := report.NewTable("Table VIII(c) — overall cost grid",
+			"distance_m", "100m/s", "200m/s", "300m/s")
+		for _, d := range []units.Metres{100, 500, 1000} {
+			t.AddRow(float64(d), cost.Overall(d, 100).String(),
+				cost.Overall(d, 200).String(), cost.Overall(d, 300).String())
+		}
+		must(t.Render(&b))
+		write("table8_cost.txt", b.Bytes())
+	}
+
+	// §V-E crossover.
+	{
+		r, err := core.Crossover(core.MinimumSpecConfig(), netmodel.ScenarioA0)
+		must(err)
+		body := fmt.Sprintf("Minimum specs (§V-E): launch %v, break-even dataset %v,\n"+
+			"optical %v vs DHL %v per window.\n",
+			r.LaunchTime, r.BreakEvenDataset, r.OpticalEnergy, r.DHLEnergy)
+		write("sec5e_minimum_specs.txt", []byte(body))
+	}
+
+	fmt.Println("all artefacts regenerated")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

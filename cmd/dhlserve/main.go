@@ -1,0 +1,68 @@
+// Command dhlserve runs the §III-D control plane: a TCP server exposing a
+// simulated DHL deployment's Open/Close/Read/Write/Status API as
+// newline-delimited JSON.
+//
+// Usage:
+//
+//	dhlserve [-addr 127.0.0.1:7070] [-carts N] [-docks N] [-dual]
+//
+// Example session (one JSON object per line):
+//
+//	{"op":"open","cart":0}
+//	{"op":"read","cart":0,"bytes":1e12}
+//	{"op":"close","cart":0}
+//	{"op":"status"}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/controlplane"
+	"repro/internal/dhlsys"
+	"repro/internal/track"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dhlserve: ")
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7070", "listen address")
+		carts = flag.Int("carts", 2, "fleet size")
+		docks = flag.Int("docks", 4, "endpoint docking stations")
+		dual  = flag.Bool("dual", false, "dual-rail track")
+	)
+	flag.Parse()
+
+	opt := dhlsys.DefaultOptions()
+	opt.NumCarts = *carts
+	opt.DockStations = *docks
+	if *dual {
+		opt.RailMode = track.DualRail
+	}
+	sys, err := dhlsys.New(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := controlplane.NewServer(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DHL control plane on %s (%d carts, %d docks, %v)\n",
+		bound, opt.NumCarts, opt.DockStations, opt.RailMode)
+	fmt.Println("Send newline-delimited JSON requests; Ctrl-C to stop.")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+// Command dhltrain runs the astra-lite DLRM training study of §V-C:
+// Table VII's iso-power and iso-time comparisons and the Figure 6 sweep.
+//
+// Usage:
+//
+//	dhltrain [-figure6] [-csv] [-tracks N] [-regen F]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/astra"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dhltrain: ")
+	var (
+		figure6 = flag.Bool("figure6", false, "emit the Figure 6 power-vs-time sweep instead of Table VII")
+		asCSV   = flag.Bool("csv", false, "emit CSV instead of tables/plots")
+		tracks  = flag.Int("tracks", 1, "DHL tracks for the Table VII comparison")
+		regen   = flag.Float64("regen", astra.DefaultRegen, "regenerative braking efficiency [0,1]")
+	)
+	flag.Parse()
+
+	w := astra.DefaultDLRM()
+	dhl, err := astra.NewDHL(core.DefaultConfig(), *tracks, *regen)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *figure6 {
+		curves, err := astra.Figure6(w, astra.DefaultFigure6Options())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *asCSV {
+			var rows [][]string
+			for _, c := range curves {
+				for _, p := range c.Points {
+					rows = append(rows, []string{c.Name,
+						fmt.Sprintf("%v", float64(p.Power)), fmt.Sprintf("%v", float64(p.Time))})
+				}
+			}
+			if err := report.WriteCSV(os.Stdout, []string{"series", "power_w", "time_s"}, rows); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		plot := report.Plot{
+			Title:  "Figure 6 — time per DLRM iteration vs communication power budget",
+			XLabel: "average power (W)", YLabel: "time/iteration (s)",
+			Width: 90, Height: 28,
+		}
+		for _, c := range curves {
+			s := report.Series{Name: c.Name}
+			for _, p := range c.Points {
+				s.X = append(s.X, float64(p.Power))
+				s.Y = append(s.Y, float64(p.Time))
+			}
+			plot.Add(s)
+		}
+		if err := plot.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	emit := func(title string, rows []astra.SchemeResult, factorName string) {
+		t := report.NewTable(title, "scheme", "avg_power_kW", "time_per_iter_s", factorName)
+		for _, r := range rows {
+			t.AddRow(r.Scheme, r.Power.KW(), float64(r.TimePerIter), float64(r.Factor))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	iso, err := astra.IsoPower(w, dhl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	emit("Table VII(a) — time comparison with fixed average power", iso, "slowdown_vs_DHL")
+	isoT, err := astra.IsoTime(w, dhl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	emit("Table VII(b) — communication power with fixed iteration time", isoT, "power_vs_DHL")
+}

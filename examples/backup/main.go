@@ -1,0 +1,59 @@
+// Backup: run the §II-D.2 data-centre bulk-backup setting through the
+// event-driven DHL system simulation — a week of nightly multi-PB backups
+// shuttled by a cart fleet, with in-flight SSD failures ameliorated by
+// RAID5 (§III-D).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dhlsys"
+	"repro/internal/netmodel"
+	"repro/internal/storage"
+	"repro/internal/track"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	trace, err := workload.DefaultBulkBackup().Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Bulk backup trace: %d backups, %v total\n\n", len(trace), trace.TotalBytes())
+
+	opt := dhlsys.DefaultOptions()
+	opt.NumCarts = 4
+	opt.DockStations = 4
+	opt.RailMode = track.DualRail
+	opt.RAID = storage.RAID5
+	opt.FailureRate = 0.05 // 5% of launches lose one SSD in flight
+	opt.Seed = 2024
+
+	var totalDur units.Seconds
+	var totalEnergy units.Joules
+	for _, b := range trace {
+		sys, err := dhlsys.New(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Shuttle(dhlsys.ShuttleOptions{Dataset: b.Size, ReadAtEndpoint: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := sys.Stats()
+		fmt.Printf("%-9s %-7v %3d deliveries in %-8v (%2d SSD failures, %d redeliveries)\n",
+			b.Label, b.Size, res.Deliveries, res.Duration, st.FailuresSeen, res.Retries)
+		totalDur += res.Duration
+		totalEnergy += res.Energy
+	}
+
+	// The same week of backups over the cross-aisle network route C.
+	netTime := netmodel.TransferTime(trace.TotalBytes())
+	netEnergy := netmodel.ScenarioC.Power().Energy(trace.TotalBytes())
+	fmt.Printf("\nDHL total:   %v moving time, %v launch energy\n", totalDur, totalEnergy)
+	fmt.Printf("Network (C): %v on one 400Gb/s link, %v\n", netTime, netEnergy)
+	fmt.Printf("The backups stop hogging the data centre network entirely: %.0fx less transfer energy.\n",
+		float64(netEnergy)/float64(totalEnergy))
+}

@@ -1,0 +1,53 @@
+// Crossover: explore §V-E — the minimum dataset size and deployment at
+// which a DHL beats a single optical link, including the paper's 10 m/s,
+// 10 m, 360 GB operating point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/netmodel"
+	"repro/internal/units"
+)
+
+func main() {
+	// The paper's minimum-spec DHL: one-SSD cart, 10 m/s, 10 m.
+	minCfg := core.MinimumSpecConfig()
+	r, err := core.Crossover(minCfg, netmodel.ScenarioA0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Minimum-spec DHL (%v, cart %v):\n", minCfg, minCfg.Cart.TotalMass)
+	fmt.Printf("  one-way launch:    %v\n", r.LaunchTime)
+	fmt.Printf("  break-even dataset: %v (paper: ~360 GB)\n", r.BreakEvenDataset)
+	fmt.Printf("  optical energy over that window: %v; DHL launch: %v (%.0fx less)\n\n",
+		r.OpticalEnergy, r.DHLEnergy, float64(r.EnergyAdvantage()))
+
+	for _, d := range []units.Bytes{100 * units.GB, 360 * units.GB, units.TB} {
+		verdict := "optical wins"
+		if r.DHLWins(d) {
+			verdict = "DHL wins"
+		}
+		fmt.Printf("  %-6v → %s\n", d, verdict)
+	}
+
+	// How the break-even point moves with speed and track length: the 6 s
+	// docking overhead dominates, so the break-even dataset is nearly flat.
+	fmt.Println("\nBreak-even dataset across slow deployments:")
+	for _, v := range []float64{5, 10, 20, 50} {
+		for _, l := range []float64{10, 50, 100} {
+			cfg := core.MinimumSpecConfig()
+			cfg.MaxSpeed = units.MetresPerSecond(v)
+			cfg.Length = units.Metres(l)
+			c, err := core.Crossover(cfg, netmodel.ScenarioA0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %3.0f m/s, %4.0f m: %v (launch %v)\n",
+				v, l, c.BreakEvenDataset, c.LaunchTime)
+		}
+	}
+	fmt.Println("\nDHL is desirable for transfers of at least a few hundred GB over at least ~10 m.")
+}

@@ -1,0 +1,78 @@
+// Deployment planner: size a DHL for a concrete data-centre floor plan —
+// from Figure 1's geometry to track length, materials cost (Table VIII),
+// launch metrics (Table VI), and fleet maintenance (§VI) in one pass.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cart"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/fleet"
+	"repro/internal/floorplan"
+	"repro/internal/thermal"
+)
+
+func main() {
+	plan := floorplan.DefaultPlan()
+	fmt.Printf("Floor plan: %d aisles × %d racks (%.0f m aisles, %.0f m span), library %.0f m away\n",
+		plan.Aisles, plan.RacksPerAisle, float64(plan.AisleLength()),
+		float64(plan.FloorSpan()), float64(plan.LibraryRun))
+
+	// Target: the §III-C ML supercomputer spanning aisle 12.
+	run, err := plan.SupercomputerRun(12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := plan.ConfigFor(core.DefaultConfig(), 12, plan.RacksPerAisle-1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Supercomputer run: %.0f m of track → configuration %v\n\n", float64(run), cfg)
+
+	launch, err := core.Launch(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Performance: %v per launch, %v, %v embodied bandwidth, %.1f GB/J\n",
+		launch.Energy, launch.Time, launch.Bandwidth, launch.Efficiency)
+
+	// Materials bill for the track (round to the paper's cost grid for the
+	// LIM sizing, use the exact distance for the rail).
+	rail := cost.Rail(cfg.Length)
+	lim := cost.LIM(cfg.MaxSpeed)
+	fmt.Printf("Materials: rail %v (%d levitation rings) + LIM %v = %v\n",
+		rail.Total(), rail.RingCount(), lim.Total(), rail.Total()+lim.Total())
+
+	// Thermal budget for the docked cart with the §VI conductive fins.
+	th, err := thermal.Analyze(thermal.CartThermals{
+		Sink:    thermal.ConductiveFins,
+		NumSSDs: cfg.Cart.Config.NumSSDs,
+		Ambient: thermal.DefaultAmbient,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Thermals: %v of SSD heat, %.0f °C steady, full-rate reads sustained: %v\n",
+		th.TotalHeat, th.SteadyTemp, th.SustainedFullLoad)
+
+	// Maintenance forecast with USB-C docking connectors at one 29 PB
+	// campaign per day.
+	fl, err := fleet.New(fleet.USBC, fleet.DefaultPolicy(), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proj, err := fl.Project(454)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Maintenance: connector service every %.0f days, %.1f%% availability, %v/year for the fleet\n",
+		proj.DaysBetweenService, 100*proj.Availability, proj.AnnualCost)
+
+	// And the cart itself.
+	c := cart.MustNew(cart.DefaultConfig())
+	fmt.Printf("\nCart: %v — %v of magnets, %v fin, %v of SSDs\n",
+		c, c.MagnetMass, c.FinMass, c.SSDMass)
+}

@@ -1,0 +1,99 @@
+// Multi-stop: the §VI track extension — one DHL line serving several racks,
+// with concurrent moves on disjoint rail spans, triangular short hops, and
+// the paper's observation that higher speeds ameliorate contention.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/multistop"
+	"repro/internal/track"
+	"repro/internal/units"
+)
+
+func line(speed units.MetresPerSecond) *multistop.Line {
+	cfg := core.DefaultConfig()
+	cfg.MaxSpeed = speed
+	l, err := multistop.New(cfg, []multistop.Stop{
+		{Name: "library", Position: 0},
+		{Name: "rack-A", Position: 120},
+		{Name: "rack-B", Position: 150},
+		{Name: "rack-C", Position: 380},
+		{Name: "rack-D", Position: 500},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return l
+}
+
+func main() {
+	l := line(200)
+	fmt.Println("Multi-stop DHL line:")
+	for i, s := range l.Stops() {
+		fmt.Printf("  [%d] %-8s at %4.0f m\n", i, s.Name, float64(s.Position))
+	}
+
+	// Hop physics: a short hop never reaches cruise speed.
+	long, err := l.HopBetween(0, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	short, err := l.HopBetween(1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlibrary→rack-D: %4.0fm, peak %5.1f m/s, %4.1fs, %5.1f kJ (trapezoid)\n",
+		float64(long.Distance), float64(long.PeakSpeed), float64(long.MoveTime), long.Energy.KJ())
+	fmt.Printf("rack-A→rack-B:  %4.0fm, peak %5.1f m/s, %4.1fs, %5.1f kJ (triangular=%v)\n",
+		float64(short.Distance), float64(short.PeakSpeed), float64(short.MoveTime),
+		short.Energy.KJ(), short.Triangular)
+
+	// Four users move carts at once; disjoint spans overlap in time.
+	for i := 0; i < 4; i++ {
+		if err := l.Place(track.CartID(i), i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	moves := []struct{ cart, to int }{{0, 1}, {1, 0}, {2, 3}, {3, 4}}
+	for _, m := range moves {
+		m := m
+		l.Move(track.CartID(m.cart), m.to, func(err error) {
+			if err != nil {
+				log.Fatalf("cart %d → stop %d: %v", m.cart, m.to, err)
+			}
+		})
+	}
+	end, err := l.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := l.Stats()
+	fmt.Printf("\n4 moves completed in %v (%d queued, %.1fs total wait, %v)\n",
+		end, st.QueuedMoves, float64(st.TotalWait), st.Energy)
+
+	// §VI: "Multi-stop would motivate higher speeds to ameliorate potential
+	// contention from different users."
+	fmt.Println("\nContention vs speed (same 4-user burst):")
+	for _, v := range []units.MetresPerSecond{100, 200, 300} {
+		l := line(v)
+		for i := 0; i < 4; i++ {
+			l.Place(track.CartID(i), 0)
+		}
+		for i := 0; i < 4; i++ {
+			l.Move(track.CartID(i), 1+i%3, func(err error) {
+				if err != nil {
+					log.Fatal(err)
+				}
+			})
+		}
+		end, err := l.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %3.0f m/s: burst served in %6.2fs, total wait %6.2fs\n",
+			float64(v), float64(end), float64(l.Stats().TotalWait))
+	}
+}

@@ -1,0 +1,67 @@
+// Physics: the §II-D.1 experimental-physics setting — shipping unfiltered
+// LHC CMS detector captures (150 TB/s bursts) to off-site processing with a
+// DHL instead of aggressively filtering them on radiation-hardened ASICs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cart"
+	"repro/internal/core"
+	"repro/internal/netmodel"
+	"repro/internal/storage"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	trace, err := workload.DefaultPhysicsBurst().Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	burst := trace[0].Size
+	fmt.Printf("CMS detector: %v; capturing %v per experiment (%d experiments)\n\n",
+		workload.LHCCMSDetector.Rate, burst, len(trace))
+
+	// Size a cart for one burst: 300 TB needs 38 M.2 SSDs; round to the
+	// paper's 64-SSD (512 TB) configuration for headroom.
+	needed, err := cart.ForCapacity(burst, storage.SabrentRocket4Plus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("One burst fits on %d × 8 TB M.2 (%v cart); using the 512 TB cart.\n",
+		needed.Config.NumSSDs, needed.TotalMass)
+
+	// A long DHL to an off-site facility: 1 km at 300 m/s.
+	cfg := core.DefaultConfig().With(300, 1000, 64)
+	launch, err := core.Launch(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%v: %v per launch, %v, %v embodied bandwidth\n",
+		cfg, launch.Energy, launch.Time, launch.Bandwidth)
+
+	// Can the DHL keep up with the experiment cadence?
+	var cartsPerBurst int
+	if burst > cfg.Cart.Capacity() {
+		cartsPerBurst = int((burst + cfg.Cart.Capacity() - 1) / cfg.Cart.Capacity())
+	} else {
+		cartsPerBurst = 1
+	}
+	period := trace[1].At - trace[0].At
+	shipTime := units.Seconds(float64(cartsPerBurst)) * launch.Time
+	fmt.Printf("\nEach burst ships on %d cart(s) in %v; experiments every %v → ", cartsPerBurst, shipTime, period)
+	if shipTime < period {
+		fmt.Println("the DHL keeps up with zero filtering.")
+	} else {
+		fmt.Println("more carts or tracks are needed.")
+	}
+
+	// The optical alternative for a single burst.
+	netTime := netmodel.TransferTime(burst)
+	fmt.Printf("\nOne burst over a 400Gb/s link: %v (%.0fx slower than the DHL delivery)\n",
+		netTime, float64(netTime)/float64(launch.Time))
+	fmt.Printf("Sustaining 150 TB/s optically would need %.0f parallel links.\n",
+		float64(workload.LHCCMSDetector.Rate)/float64(netmodel.LinkBandwidth()))
+}

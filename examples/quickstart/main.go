@@ -1,0 +1,53 @@
+// Quickstart: model a single DHL launch and compare moving the paper's
+// 29 PB ML dataset against 400 Gb/s optical networking.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+func main() {
+	// The paper's default DHL: a 256 TB cart (32 × 8 TB M.2 SSDs, 282 g)
+	// on a 500 m track at 200 m/s.
+	cfg := core.DefaultConfig()
+
+	launch, err := core.Launch(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("One launch of %v:\n", cfg)
+	fmt.Printf("  cart: %v\n", cfg.Cart)
+	fmt.Printf("  energy:             %v\n", launch.Energy)
+	fmt.Printf("  time:               %v\n", launch.Time)
+	fmt.Printf("  embodied bandwidth: %v\n", launch.Bandwidth)
+	fmt.Printf("  peak power:         %v\n", launch.PeakPower)
+	fmt.Printf("  efficiency:         %.1f GB/J\n\n", launch.Efficiency)
+
+	// Moving Meta's 29 PB dataset (§II-C) with repeated trips.
+	tr, err := core.Transfer(cfg, core.PaperDataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Moving %v: %d deliveries (%d one-way trips), %v, %v\n\n",
+		tr.Dataset, tr.DeliveryTrips, tr.TotalTrips, tr.Time, tr.Energy)
+
+	fmt.Println("Versus 400 Gb/s optical networking:")
+	for _, c := range core.CompareAll(tr) {
+		fmt.Printf("  vs %-2s: %7s faster, %7s less energy (network: %v, %v)\n",
+			c.Scenario, c.TimeSpeedup, c.EnergyReduction, c.NetworkTime, c.NetworkEnergy)
+	}
+
+	// A slower launch is far more energy-efficient (Table VI observation).
+	eco := cfg
+	eco.MaxSpeed = 100 * units.MetresPerSecond(1)
+	ecoLaunch, err := core.Launch(eco)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAt 100 m/s the same cart moves %.1f GB/J (vs %.1f GB/J at 200 m/s).\n",
+		ecoLaunch.Efficiency, launch.Efficiency)
+}

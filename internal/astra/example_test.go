@@ -1,0 +1,34 @@
+package astra_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/astra"
+)
+
+// ExampleDHL shows the calibrated DHL transport of the §V-C study.
+func ExampleDHL() {
+	dhl := astra.DefaultDHL()
+	fmt.Println(dhl.Name())
+	fmt.Printf("cycle %.1f s, avg power %.2f kW\n",
+		float64(dhl.CycleTime()), dhl.AveragePower().KW())
+	// Output:
+	// DHL-200-500-256
+	// cycle 11.2 s, avg power 1.76 kW
+}
+
+// ExampleDLRM_Iteration runs one DLRM training iteration analytically.
+func ExampleDLRM_Iteration() {
+	w := astra.DefaultDLRM()
+	it, err := w.Iteration(astra.DefaultDHL())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compute %.0f s + allreduce %.0f s + ingest dominates\n",
+		float64(it.Compute), float64(it.AllReduce))
+	fmt.Printf("ingest > 1000 s: %v\n", it.Ingest > 1000)
+	// Output:
+	// compute 86 s + allreduce 92 s + ingest dominates
+	// ingest > 1000 s: true
+}

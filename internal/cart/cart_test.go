@@ -1,0 +1,174 @@
+package cart
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+	"repro/internal/units"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Max(math.Abs(want), 1e-12) {
+		t.Errorf("%s = %v, want %v (±%v%%)", name, got, want, tol*100)
+	}
+}
+
+func TestReproCartMasses(t *testing.T) {
+	// Table V: cart masses 161, 282, 524 g for 16, 32, 64 SSDs.
+	want := map[int]float64{16: 161, 32: 282, 64: 524}
+	for n, m := range want {
+		c := MustNew(DefaultConfig().WithSSDs(n))
+		approx(t, "total mass", float64(c.TotalMass), m, 0.005)
+	}
+}
+
+func TestReproSSDPackMasses(t *testing.T) {
+	// §IV-A: 32 SSDs → 180 g pack; 16 → 91 g; 64 → 363 g.
+	want := map[int]float64{16: 91, 32: 180, 64: 363}
+	for n, m := range want {
+		c := MustNew(DefaultConfig().WithSSDs(n))
+		approx(t, "SSD pack mass", float64(c.SSDMass), m, 0.01)
+	}
+}
+
+func TestCartCapacities(t *testing.T) {
+	want := map[int]units.Bytes{16: 128 * units.TB, 32: 256 * units.TB, 64: 512 * units.TB}
+	for n, cap := range want {
+		c := MustNew(DefaultConfig().WithSSDs(n))
+		if c.Capacity() != cap {
+			t.Errorf("%d SSDs capacity = %v, want %v", n, c.Capacity(), cap)
+		}
+	}
+}
+
+func TestMassDecompositionClosure(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	sum := c.SSDMass + c.MagnetMass + c.FinMass + c.Config.FrameMass
+	approx(t, "mass closure", float64(sum), float64(c.TotalMass), 1e-12)
+	approx(t, "magnet fraction", float64(c.MagnetMass)/float64(c.TotalMass), 0.10, 1e-12)
+	approx(t, "fin fraction", float64(c.FinMass)/float64(c.TotalMass), 0.15, 1e-12)
+}
+
+func TestMassClosureProperty(t *testing.T) {
+	f := func(nRaw uint8, magRaw, finRaw float64) bool {
+		n := int(nRaw%128) + 1
+		mag := math.Abs(math.Mod(magRaw, 0.4))
+		fin := math.Abs(math.Mod(finRaw, 0.4))
+		cfg := DefaultConfig()
+		cfg.NumSSDs = n
+		cfg.MagnetFraction = mag
+		cfg.FinFraction = fin
+		c, err := New(cfg)
+		if err != nil {
+			return mag+fin >= 1 // only rejectable reason here
+		}
+		sum := float64(c.SSDMass + c.MagnetMass + c.FinMass + cfg.FrameMass)
+		return math.Abs(sum-float64(c.TotalMass)) < 1e-9*float64(c.TotalMass)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(DefaultConfig().WithSSDs(0)); !errors.Is(err, ErrNoSSDs) {
+		t.Errorf("err = %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.MagnetFraction = 0.6
+	cfg.FinFraction = 0.5
+	if _, err := New(cfg); !errors.Is(err, ErrBadMassFractions) {
+		t.Errorf("err = %v", err)
+	}
+	cfg = DefaultConfig()
+	cfg.MagnetFraction = -0.1
+	if _, err := New(cfg); !errors.Is(err, ErrBadMassFractions) {
+		t.Errorf("err = %v", err)
+	}
+	cfg = DefaultConfig()
+	cfg.SSD = storage.DeviceSpec{Name: "empty"}
+	if _, err := New(cfg); err == nil {
+		t.Error("zero-capacity SSD must be rejected")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with bad config must panic")
+		}
+	}()
+	MustNew(DefaultConfig().WithSSDs(-1))
+}
+
+func TestDensityPerGram(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	// 256 TB / 282 g ≈ 0.91 TB/g.
+	approx(t, "density", float64(c.DensityPerGram()), 256e12/281.92, 0.001)
+	// Density improves with larger carts (fixed frame amortised).
+	small := MustNew(DefaultConfig().WithSSDs(16))
+	big := MustNew(DefaultConfig().WithSSDs(64))
+	if !(big.DensityPerGram() > c.DensityPerGram() && c.DensityPerGram() > small.DensityPerGram()) {
+		t.Error("density must increase with cart size")
+	}
+}
+
+func TestNewArrayFromCart(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	a, err := c.NewArray(storage.RAID0, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Capacity() != c.Capacity() {
+		t.Errorf("array capacity %v != cart capacity %v", a.Capacity(), c.Capacity())
+	}
+}
+
+func TestForCapacity(t *testing.T) {
+	c, err := ForCapacity(360*units.GB, storage.SabrentRocket4Plus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Config.NumSSDs != 1 {
+		t.Errorf("360GB needs %d SSDs, want 1", c.Config.NumSSDs)
+	}
+	c2, err := ForCapacity(29*units.PB, storage.SabrentRocket4Plus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Config.NumSSDs != 3625 {
+		t.Errorf("29PB needs %d SSDs, want 3625", c2.Config.NumSSDs)
+	}
+	if _, err := ForCapacity(0, storage.SabrentRocket4Plus); err == nil {
+		t.Error("zero target must error")
+	}
+}
+
+func TestPaperSweep(t *testing.T) {
+	sweep := PaperSweep()
+	if len(sweep) != 3 {
+		t.Fatalf("sweep size = %d", len(sweep))
+	}
+	wantTB := []float64{128, 256, 512}
+	for i, c := range sweep {
+		if c.Capacity().TBf() != wantTB[i] {
+			t.Errorf("sweep[%d] = %v TB, want %v", i, c.Capacity().TBf(), wantTB[i])
+		}
+	}
+}
+
+func TestMagnetVolume(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	// 28.2 g of NdFeB at 7.5 g/cm³ ≈ 3.76 cm³.
+	approx(t, "magnet volume", c.MagnetVolumeCm3(), 28.192/7.5, 0.01)
+}
+
+func TestString(t *testing.T) {
+	if MustNew(DefaultConfig()).String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,151 @@
+package control
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestDefaultLoopSettles(t *testing.T) {
+	r, err := Simulate(DefaultPlant(), DefaultController(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Settled {
+		t.Fatalf("default loop did not settle: %+v", r)
+	}
+	if r.SettlingTime > 0.5 {
+		t.Errorf("settling time = %v, want < 0.5 s", r.SettlingTime)
+	}
+	// The 1 mm perturbation must not grow much before being caught.
+	if r.MaxDeviation > 3e-3 {
+		t.Errorf("max deviation = %v m, want < 3 mm", r.MaxDeviation)
+	}
+	if r.PeakForce > DefaultController().MaxForce {
+		t.Errorf("peak force %v exceeds actuator limit", r.PeakForce)
+	}
+}
+
+func TestStabilisationPowerNegligible(t *testing.T) {
+	// §IV-A.2: "the only power concern is from active stabilisation, which
+	// it is known to be conducted with minimal power usage". Check it is
+	// orders of magnitude below the 75 kW launch peak.
+	p, err := StabilisationPowerPerCart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 {
+		t.Fatal("stabilisation power must be positive (the loop does work)")
+	}
+	if p > 5*units.Watt {
+		t.Errorf("stabilisation power = %v, want < 5 W (vs 75 kW launch peak)", p)
+	}
+}
+
+func TestUncontrolledCartDiverges(t *testing.T) {
+	// With negligible gains the destabilising stiffness wins: the cart
+	// drifts to the wall and the run reports not settled.
+	weak := DefaultController()
+	weak.KP = 1e-6
+	weak.KD = 0
+	o := DefaultOptions()
+	o.Duration = 5
+	r, err := Simulate(DefaultPlant(), weak, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Settled {
+		t.Fatal("uncontrolled cart must not settle")
+	}
+	if r.MaxDeviation < 0.1 {
+		t.Errorf("max deviation = %v, expected divergence", r.MaxDeviation)
+	}
+}
+
+func TestGainBelowStiffnessDiverges(t *testing.T) {
+	// k_p must exceed k_u for the closed loop to be stable at all.
+	c := DefaultController()
+	c.KP = DefaultPlant().UnstableStiffness * 0.5
+	r, err := Simulate(DefaultPlant(), c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Settled {
+		t.Error("proportional gain below magnetic stiffness cannot stabilise")
+	}
+}
+
+func TestSlowSamplingDestabilises(t *testing.T) {
+	// Sampling far below the loop bandwidth loses the cart.
+	c := DefaultController()
+	c.SampleRate = 5
+	o := DefaultOptions()
+	o.Duration = 5
+	r, err := Simulate(DefaultPlant(), c, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Settled && r.MaxDeviation < 2e-3 {
+		t.Errorf("5 Hz sampling should not hold a 1 kHz-tuned loop: %+v", r)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Simulate(Plant{}, DefaultController(), DefaultOptions()); !errors.Is(err, ErrBadPlant) {
+		t.Errorf("err = %v", err)
+	}
+	bad := DefaultController()
+	bad.SampleRate = 0
+	if _, err := Simulate(DefaultPlant(), bad, DefaultOptions()); !errors.Is(err, ErrBadController) {
+		t.Errorf("err = %v", err)
+	}
+	o := DefaultOptions()
+	o.Duration = 0
+	if _, err := Simulate(DefaultPlant(), DefaultController(), o); err == nil {
+		t.Error("zero duration must error")
+	}
+	o = DefaultOptions()
+	o.SettleBand = 0
+	if _, err := Simulate(DefaultPlant(), DefaultController(), o); err == nil {
+		t.Error("zero settle band must error")
+	}
+}
+
+func TestLargerPerturbationsStillSettleProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		off := math.Abs(math.Mod(raw, 3e-3)) + 1e-4 // 0.1–3.1 mm
+		o := DefaultOptions()
+		o.InitialOffset = off
+		o.Duration = 2
+		r, err := Simulate(DefaultPlant(), DefaultController(), o)
+		if err != nil {
+			return false
+		}
+		return r.Settled && r.MaxDeviation < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerScalesWithPerturbation(t *testing.T) {
+	small := DefaultOptions()
+	small.InitialOffset = 1e-4
+	big := DefaultOptions()
+	big.InitialOffset = 2e-3
+	rs, err := Simulate(DefaultPlant(), DefaultController(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Simulate(DefaultPlant(), DefaultController(), big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.AveragePower <= rs.AveragePower {
+		t.Errorf("bigger perturbations must cost more power: %v vs %v",
+			rb.AveragePower, rs.AveragePower)
+	}
+}

@@ -1,0 +1,217 @@
+package controlplane
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dhlsys"
+	"repro/internal/units"
+)
+
+func startServer(t *testing.T, opt dhlsys.Options) (*Server, string) {
+	t.Helper()
+	sys, err := dhlsys.New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr
+}
+
+func TestRequestValidation(t *testing.T) {
+	cases := []struct {
+		req Request
+		ok  bool
+	}{
+		{Request{Op: OpOpen}, true},
+		{Request{Op: OpClose, Cart: 1}, true},
+		{Request{Op: OpStatus}, true},
+		{Request{Op: OpRead, Bytes: 1e9}, true},
+		{Request{Op: OpRead}, false},
+		{Request{Op: OpWrite, Bytes: -1}, false},
+		{Request{Op: "teleport"}, false},
+	}
+	for _, c := range cases {
+		if err := c.req.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.req, err, c.ok)
+		}
+	}
+}
+
+func TestNewServerNilSystem(t *testing.T) {
+	if _, err := NewServer(nil); err == nil {
+		t.Error("nil system must be rejected")
+	}
+}
+
+func TestFullAPICycleOverTCP(t *testing.T) {
+	_, addr := startServer(t, dhlsys.DefaultOptions())
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	open, err := c.Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !open.OK {
+		t.Fatalf("open failed: %s", open.Error)
+	}
+	// One launch: 8.6 simulated seconds.
+	if math.Abs(open.OpSeconds-8.6) > 1e-9 {
+		t.Errorf("open took %v sim-s, want 8.6", open.OpSeconds)
+	}
+
+	wr, err := c.Write(0, 256*units.TB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wr.OK {
+		t.Fatalf("write failed: %s", wr.Error)
+	}
+	rd, err := c.Read(0, 256*units.TB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rd.OK {
+		t.Fatalf("read failed: %s", rd.Error)
+	}
+	if rd.OpSeconds <= 0 {
+		t.Error("read must take simulated time")
+	}
+
+	cl, err := c.CloseCart(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.OK {
+		t.Fatalf("close failed: %s", cl.Error)
+	}
+
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.OK || st.Stats == nil {
+		t.Fatal("status must include stats")
+	}
+	if st.Stats.Launches != 2 {
+		t.Errorf("launches = %d, want 2", st.Stats.Launches)
+	}
+	if st.Stats.BytesRead != 256e12 || st.Stats.BytesWritten != 256e12 {
+		t.Errorf("io counters: %+v", st.Stats)
+	}
+	if st.SimTime <= 0 {
+		t.Error("sim time must advance")
+	}
+}
+
+func TestAPIErrorsPropagate(t *testing.T) {
+	_, addr := startServer(t, dhlsys.DefaultOptions())
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Unknown cart.
+	resp, err := c.Open(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "unknown cart") {
+		t.Errorf("resp = %+v", resp)
+	}
+	// Read while at library.
+	resp, err = c.Read(0, units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "not docked") {
+		t.Errorf("resp = %+v", resp)
+	}
+	// Malformed op.
+	resp, err = c.Do(Request{Op: "warp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "unknown op") {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	opt := dhlsys.DefaultOptions()
+	opt.NumCarts = 4
+	opt.DockStations = 4
+	_, addr := startServer(t, opt)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(cart int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if r, err := c.Open(cart); err != nil || !r.OK {
+				errs <- err
+				return
+			}
+			if r, err := c.CloseCart(cart); err != nil || !r.OK {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// All four carts went out and back.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats.Launches != 8 {
+		t.Errorf("launches = %d, want 8", st.Stats.Launches)
+	}
+}
+
+func TestMultipleRequestsPerConnection(t *testing.T) {
+	_, addr := startServer(t, dhlsys.DefaultOptions())
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Status(); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}

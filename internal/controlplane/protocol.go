@@ -1,0 +1,95 @@
+// Package controlplane exposes the DHL software API of §III-D over the
+// standard network, as the paper prescribes: "Adopting a DHL in a data
+// centre also relies on management software to coordinate SSDs' movement.
+// Software controls access through an API that is accessed through the
+// standard network."
+//
+// The wire protocol is newline-delimited JSON over TCP: one request object
+// per line, one response object per line, multiple exchanges per
+// connection. The server wraps a dhlsys.System; each request drives the
+// simulation to completion of the operation and reports the simulated
+// timing, so a client sees exactly what a rack's storage-management daemon
+// would.
+package controlplane
+
+import (
+	"fmt"
+
+	"repro/internal/dhlsys"
+	"repro/internal/units"
+)
+
+// Op is a §III-D API command.
+type Op string
+
+// The four paper commands plus an introspection op.
+const (
+	OpOpen   Op = "open"
+	OpClose  Op = "close"
+	OpRead   Op = "read"
+	OpWrite  Op = "write"
+	OpStatus Op = "status"
+)
+
+// Request is one client command.
+type Request struct {
+	Op   Op  `json:"op"`
+	Cart int `json:"cart,omitempty"`
+	// Bytes for read/write ops.
+	Bytes float64 `json:"bytes,omitempty"`
+}
+
+// Validate checks the request shape.
+func (r Request) Validate() error {
+	switch r.Op {
+	case OpOpen, OpClose, OpStatus:
+		return nil
+	case OpRead, OpWrite:
+		if r.Bytes <= 0 {
+			return fmt.Errorf("controlplane: %s needs positive bytes, got %v", r.Op, r.Bytes)
+		}
+		return nil
+	default:
+		return fmt.Errorf("controlplane: unknown op %q", r.Op)
+	}
+}
+
+// Response is the server's reply.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// SimTime is the simulation clock after the operation, seconds.
+	SimTime float64 `json:"sim_time"`
+	// OpSeconds is the simulated duration of this operation.
+	OpSeconds float64 `json:"op_seconds,omitempty"`
+	// Stats is included for status requests.
+	Stats *StatsJSON `json:"stats,omitempty"`
+}
+
+// StatsJSON mirrors dhlsys.Stats for the wire.
+type StatsJSON struct {
+	Launches     int     `json:"launches"`
+	DockOps      int     `json:"dock_ops"`
+	EnergyJ      float64 `json:"energy_j"`
+	BytesRead    float64 `json:"bytes_read"`
+	BytesWritten float64 `json:"bytes_written"`
+	FailuresSeen int     `json:"failures_seen"`
+	Denied       int     `json:"denied"`
+	Queued       int     `json:"queued"`
+}
+
+func statsJSON(s dhlsys.Stats) *StatsJSON {
+	return &StatsJSON{
+		Launches:     s.Launches,
+		DockOps:      s.DockOps,
+		EnergyJ:      float64(s.Energy),
+		BytesRead:    float64(s.BytesRead),
+		BytesWritten: float64(s.BytesWritten),
+		FailuresSeen: s.FailuresSeen,
+		Denied:       s.Denied,
+		Queued:       s.Queued,
+	}
+}
+
+// bytesOf converts the wire size.
+func bytesOf(r Request) units.Bytes { return units.Bytes(r.Bytes) }

@@ -1,0 +1,199 @@
+package controlplane
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/dhlsys"
+	"repro/internal/track"
+	"repro/internal/units"
+)
+
+// Server serves the §III-D API over TCP for one DHL deployment. The
+// underlying simulation is single-threaded; a mutex serialises client
+// operations (the DHL scheduler itself serialises physical resources).
+type Server struct {
+	sys *dhlsys.System
+
+	mu sync.Mutex // guards sys and its engine
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewServer wraps a system. The system must not be driven elsewhere while
+// the server owns it.
+func NewServer(sys *dhlsys.System) (*Server, error) {
+	if sys == nil {
+		return nil, errors.New("controlplane: nil system")
+	}
+	return &Server{sys: sys, closed: make(chan struct{})}, nil
+}
+
+// Listen starts accepting on addr (e.g. "127.0.0.1:0") and returns the
+// bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("controlplane: listen: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				return // listener failed; nothing more to accept
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or malformed stream: drop the connection
+		}
+		resp := s.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle executes one request against the simulation.
+func (s *Server) handle(req Request) Response {
+	if err := req.Validate(); err != nil {
+		return Response{OK: false, Error: err.Error()}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if req.Op == OpStatus {
+		return Response{
+			OK:      true,
+			SimTime: float64(s.sys.Engine.Now()),
+			Stats:   statsJSON(s.sys.Stats()),
+		}
+	}
+
+	start := s.sys.Engine.Now()
+	var opErr error
+	id := track.CartID(req.Cart)
+	switch req.Op {
+	case OpOpen:
+		s.sys.Open(id, func(err error) { opErr = err })
+	case OpClose:
+		s.sys.Close(id, func(err error) { opErr = err })
+	case OpRead:
+		s.sys.Read(id, bytesOf(req), func(_ units.Seconds, err error) { opErr = err })
+	case OpWrite:
+		s.sys.Write(id, bytesOf(req), func(_ units.Seconds, err error) { opErr = err })
+	}
+	if _, err := s.sys.Run(); err != nil {
+		return Response{OK: false, Error: err.Error(), SimTime: float64(s.sys.Engine.Now())}
+	}
+	resp := Response{
+		OK:        opErr == nil,
+		SimTime:   float64(s.sys.Engine.Now()),
+		OpSeconds: float64(s.sys.Engine.Now() - start),
+	}
+	if opErr != nil {
+		resp.Error = opErr.Error()
+	}
+	return resp
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	close(s.closed)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a minimal API client for the wire protocol.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: dial: %w", err)
+	}
+	return &Client{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+	}, nil
+}
+
+// Do performs one request/response exchange.
+func (c *Client) Do(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("controlplane: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("controlplane: recv: %w", err)
+	}
+	return resp, nil
+}
+
+// Open shuttles a cart to the endpoint.
+func (c *Client) Open(cart int) (Response, error) {
+	return c.Do(Request{Op: OpOpen, Cart: cart})
+}
+
+// CloseCart returns a cart to the library.
+func (c *Client) CloseCart(cart int) (Response, error) {
+	return c.Do(Request{Op: OpClose, Cart: cart})
+}
+
+// Read reads bytes from a docked cart.
+func (c *Client) Read(cart int, b units.Bytes) (Response, error) {
+	return c.Do(Request{Op: OpRead, Cart: cart, Bytes: float64(b)})
+}
+
+// Write writes bytes to a docked cart.
+func (c *Client) Write(cart int, b units.Bytes) (Response, error) {
+	return c.Do(Request{Op: OpWrite, Cart: cart, Bytes: float64(b)})
+}
+
+// Status fetches the deployment counters.
+func (c *Client) Status() (Response, error) {
+	return c.Do(Request{Op: OpStatus})
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestDockTimeSensitivity(t *testing.T) {
+	rows, err := DockTimeSensitivity(DefaultConfig(), []units.Seconds{0, 1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// §V-A observation (a): docking dominates. At the paper's 3 s it is
+	// ~70 % of the 8.6 s launch.
+	at3 := rows[3]
+	approx(t, "dock share at 3s", at3.DockShare, 6.0/8.6, 1e-9)
+	// Zero-dock launch is just the transit: 2.6 s → BW jumps ~3.3×.
+	approx(t, "zero-dock time", float64(rows[0].Launch.Time), 2.6, 1e-9)
+	if rows[0].Launch.Bandwidth <= 3*at3.Launch.Bandwidth {
+		t.Errorf("removing docking should >3x bandwidth: %v vs %v",
+			rows[0].Launch.Bandwidth, at3.Launch.Bandwidth)
+	}
+	// Energy is unaffected by docking time.
+	for _, r := range rows {
+		if r.Launch.Energy != rows[0].Launch.Energy {
+			t.Error("dock time must not change launch energy")
+		}
+	}
+	if _, err := DockTimeSensitivity(DefaultConfig(), []units.Seconds{-1}); err == nil {
+		t.Error("negative dock time must error")
+	}
+}
+
+func TestAccelerationTradeoff(t *testing.T) {
+	accels := []units.MetresPerSecond2{250, 500, 1000, 2000}
+	rows, err := AccelerationTradeoff(DefaultConfig(), accels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak power scales linearly with acceleration (P = M·a·v/η).
+	approx(t, "peak ratio", float64(rows[3].Launch.PeakPower)/float64(rows[0].Launch.PeakPower), 8, 1e-9)
+	// Energy is acceleration-independent.
+	for _, r := range rows {
+		if r.Launch.Energy != rows[0].Launch.Energy {
+			t.Error("acceleration must not change launch energy")
+		}
+	}
+	// Halving acceleration from the default costs only a fraction of a
+	// second (§V-A: "slightly increasing acceleration time").
+	var at500, at1000 AccelerationRow
+	for _, r := range rows {
+		switch r.Acceleration {
+		case 500:
+			at500 = r
+		case 1000:
+			at1000 = r
+		}
+	}
+	slowdown := float64(at500.Launch.Time - at1000.Launch.Time)
+	if slowdown <= 0 || slowdown > 0.5 {
+		t.Errorf("500 vs 1000 m/s² adds %v s, want (0, 0.5]", slowdown)
+	}
+	if at500.Launch.PeakPower >= at1000.Launch.PeakPower {
+		t.Error("lower acceleration must lower peak power")
+	}
+	// LIM length doubles when acceleration halves.
+	approx(t, "LIM length", float64(at500.LIMLength), 2*float64(at1000.LIMLength), 1e-9)
+	// ExtraTime is relative to the fastest row.
+	if rows[3].ExtraTime != 0 {
+		t.Errorf("fastest row extra time = %v", rows[3].ExtraTime)
+	}
+	if _, err := AccelerationTradeoff(DefaultConfig(), nil); err == nil {
+		t.Error("empty sweep must error")
+	}
+	// Too-low acceleration can't fit the track: 200 m/s at 10 m/s² needs
+	// 2×2000 m of ramps on a 500 m track.
+	if _, err := AccelerationTradeoff(DefaultConfig(), []units.MetresPerSecond2{10}); err == nil {
+		t.Error("infeasible acceleration must error")
+	}
+}
+
+func TestRegenerativeBrakingSavings(t *testing.T) {
+	// §VI: implementations range 16–70 %.
+	rows, err := RegenerativeBrakingSavings(DefaultConfig(), []float64{0, 0.16, 0.5, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Saving != 1 {
+		t.Errorf("no-regen saving = %v, want 1", rows[0].Saving)
+	}
+	prev := units.Joules(math.Inf(1))
+	for _, r := range rows {
+		if r.Energy >= prev {
+			t.Errorf("energy must fall with regen: %v at %v", r.Energy, r.Regen)
+		}
+		prev = r.Energy
+	}
+	// At 70 % regen the braking leg recovers 0.7·½mv²: launch energy
+	// = ½mv²/η + (½mv²/η − 0.7·½mv²) = 15040 − 3947 ≈ 11.09 kJ → 1.36×.
+	approx(t, "70% regen saving", float64(rows[3].Saving), 15040.0/11092.5, 0.001)
+	if _, err := RegenerativeBrakingSavings(DefaultConfig(), []float64{1.5}); err == nil {
+		t.Error("regen > 1 must error")
+	}
+}
+
+func TestPassiveBrakeSavings(t *testing.T) {
+	active, passive, saving, err := PassiveBrakeSavings(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §VI: "essentially halving DHL's power consumption".
+	approx(t, "halving", float64(saving), 2, 1e-9)
+	approx(t, "passive energy", float64(passive), float64(active)/2, 1e-9)
+	bad := DefaultConfig()
+	bad.Cart = nil
+	if _, _, _, err := PassiveBrakeSavings(bad); err == nil {
+		t.Error("invalid config must error")
+	}
+}
+
+func TestSSDDensityScaling(t *testing.T) {
+	rows, err := DefaultDensityScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Year != 2024 || rows[0].CartCapacity != 256*units.TB {
+		t.Errorf("base year row wrong: %+v", rows[0])
+	}
+	// Three doublings in 10 years with a 3-year period: 2024→256, 2033→2048 TB.
+	last := rows[len(rows)-1]
+	if last.CartCapacity != 2048*units.TB {
+		t.Errorf("2033 cart = %v, want 2048TB", last.CartCapacity)
+	}
+	// §II-A: the hyperloop itself is unchanged — launch time constant,
+	// embodied bandwidth and efficiency scale with capacity.
+	if last.Launch.Time != rows[0].Launch.Time {
+		t.Error("track upgrade-free: launch time must not change")
+	}
+	approx(t, "bandwidth scaling",
+		float64(last.Launch.Bandwidth)/float64(rows[0].Launch.Bandwidth), 8, 1e-9)
+	approx(t, "efficiency scaling",
+		last.Launch.Efficiency/rows[0].Launch.Efficiency, 8, 1e-9)
+	// Energy unchanged (same stick mass: density, not mass, grows).
+	if last.Launch.Energy != rows[0].Launch.Energy {
+		t.Error("launch energy must not change with density scaling")
+	}
+}
+
+func TestSSDDensityScalingErrors(t *testing.T) {
+	if _, err := SSDDensityScaling(DefaultConfig(), 2024, 0, 3); err == nil {
+		t.Error("zero years must error")
+	}
+	if _, err := SSDDensityScaling(DefaultConfig(), 2024, 5, 0); err == nil {
+		t.Error("zero doubling period must error")
+	}
+	bad := DefaultConfig()
+	bad.Cart = nil
+	if _, err := SSDDensityScaling(bad, 2024, 5, 3); err == nil {
+		t.Error("cartless config must error")
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cart"
+	"repro/internal/netmodel"
+	"repro/internal/storage"
+	"repro/internal/units"
+)
+
+// §V-E: minimum specifications for a DHL to outperform optical networking.
+// The 6 s dock/undock overhead is unavoidable even for tiny transfers, but
+// carts can be launched slowly, so the break-even dataset for a short, slow
+// DHL is small: the paper's example (10 m/s, 10 m, 360 GB cart) breaks even
+// against a single A0 optical link at roughly 360 GB, with the optical link
+// additionally paying ~144 J that the DHL launch does not.
+
+// MinimumSpecConfig is the paper's §V-E operating point: a one-SSD cart
+// capped at 360 GB usable, 10 m/s, 10 m track.
+func MinimumSpecConfig() Config {
+	c := DefaultConfig()
+	c.MaxSpeed = 10
+	c.Length = 10
+	c.Cart = cart.MustNew(cart.Config{
+		SSD:            storage.SabrentRocket4Plus,
+		NumSSDs:        1,
+		FrameMass:      cart.DefaultFrameMass,
+		MagnetFraction: cart.MagnetMassFraction,
+		FinFraction:    cart.FinMassFraction,
+	})
+	return c
+}
+
+// CrossoverResult describes the break-even point between one DHL launch and
+// a single optical link.
+type CrossoverResult struct {
+	Config Config
+	// LaunchTime of one DHL trip (the optical link must beat this).
+	LaunchTime units.Seconds
+	// BreakEvenDataset: the dataset size at which the optical link takes
+	// exactly LaunchTime. Larger transfers favour the DHL.
+	BreakEvenDataset units.Bytes
+	// OpticalEnergy the link spends over LaunchTime (scenario-dependent).
+	OpticalEnergy units.Joules
+	// DHLEnergy of the single launch.
+	DHLEnergy units.Joules
+}
+
+// Crossover computes the break-even dataset for one DHL launch versus a
+// single link of the given scenario.
+func Crossover(c Config, s netmodel.Scenario) (CrossoverResult, error) {
+	l, err := Launch(c)
+	if err != nil {
+		return CrossoverResult{}, err
+	}
+	breakEven := units.Bytes(float64(netmodel.LinkBandwidth()) * float64(l.Time))
+	return CrossoverResult{
+		Config:           c,
+		LaunchTime:       l.Time,
+		BreakEvenDataset: breakEven,
+		OpticalEnergy:    units.Energy(s.Power().Total(), l.Time),
+		DHLEnergy:        l.Energy,
+	}, nil
+}
+
+// DHLWins reports whether a DHL single launch beats the optical link for the
+// given dataset: it must fit on the cart and exceed the break-even size.
+func (r CrossoverResult) DHLWins(dataset units.Bytes) bool {
+	return dataset >= r.BreakEvenDataset && dataset <= r.Config.Cart.Capacity()
+}
+
+// EnergyAdvantage is optical energy divided by DHL energy at the break-even
+// point (>1 means the DHL also wins on energy).
+func (r CrossoverResult) EnergyAdvantage() units.Ratio {
+	if r.DHLEnergy <= 0 {
+		return units.Ratio(0)
+	}
+	return units.Ratio(float64(r.OpticalEnergy) / float64(r.DHLEnergy))
+}
+
+// String summarises the crossover.
+func (r CrossoverResult) String() string {
+	return fmt.Sprintf("crossover{%v: break-even %v in %v; optical %v vs DHL %v}",
+		r.Config, r.BreakEvenDataset, r.LaunchTime, r.OpticalEnergy, r.DHLEnergy)
+}
+
+// MinimumTrackLength returns the shortest track on which the configuration's
+// profile is realisable (twice the LIM ramp length).
+func MinimumTrackLength(c Config) units.Metres {
+	return units.Metres(2 * float64(c.MaxSpeed) * float64(c.MaxSpeed) / (2 * float64(c.Acceleration)))
+}

@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/netmodel"
+)
+
+// ExampleLaunch models a single cart launch with the paper's default
+// configuration.
+func ExampleLaunch() {
+	launch, err := core.Launch(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(launch.Config)
+	fmt.Println(launch.Energy, launch.Time, launch.Bandwidth)
+	fmt.Printf("%.1f GB/J, peak %s\n", launch.Efficiency, launch.PeakPower)
+	// Output:
+	// DHL-200-500-256
+	// 15kJ 8.6s 29.8TB/s
+	// 17.0 GB/J, peak 75.2kW
+}
+
+// ExampleTransfer moves the paper's 29 PB dataset and compares against the
+// cross-aisle optical route.
+func ExampleTransfer() {
+	tr, err := core.Transfer(core.DefaultConfig(), core.PaperDataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp := core.Compare(tr, netmodel.ScenarioC)
+	fmt.Printf("%d deliveries, %d one-way trips\n", tr.DeliveryTrips, tr.TotalTrips)
+	fmt.Printf("vs %s: %s less energy\n", cmp.Scenario, cmp.EnergyReduction)
+	// Output:
+	// 114 deliveries, 227 one-way trips
+	// vs C: 87.7x less energy
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestTransferPipelinedValidation(t *testing.T) {
+	if _, err := TransferPipelined(DefaultConfig(), units.PB, PipelineOptions{DockStations: 0}); err == nil {
+		t.Error("zero stations must error")
+	}
+	if _, err := TransferPipelined(DefaultConfig(), units.PB,
+		PipelineOptions{DockStations: 1, ReadRate: -1}); err == nil {
+		t.Error("negative read rate must error")
+	}
+	if _, err := TransferPipelined(DefaultConfig(), 0, PipelineOptions{DockStations: 1}); err == nil {
+		t.Error("zero dataset must error")
+	}
+}
+
+func TestPipelinedDeliveryOnlySingleRail(t *testing.T) {
+	// Single rail, no reads: cadence is a full round trip — exactly the
+	// Table VI accounting, so time matches the conservative model to within
+	// the final return leg.
+	pt, err := TransferPipelined(DefaultConfig(), PaperDataset, PipelineOptions{DockStations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Cadence != 2*pt.Base.Launch.Time {
+		t.Errorf("cadence = %v, want round trip", pt.Cadence)
+	}
+	ratio := float64(pt.Time) / float64(pt.Base.Time)
+	if ratio < 0.98 || ratio > 1.01 {
+		t.Errorf("single-rail pipelined/%v conservative ratio = %v, want ≈1", pt.Base.Time, ratio)
+	}
+}
+
+func TestDualRailHalvesDeliveryTime(t *testing.T) {
+	// §V-B / §VI: dual rails avoid the return expense → cadence one-way.
+	single, err := TransferPipelined(DefaultConfig(), PaperDataset, PipelineOptions{DockStations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := TransferPipelined(DefaultConfig(), PaperDataset,
+		PipelineOptions{DualRail: true, DockStations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dual.Cadence != single.Cadence/2 {
+		t.Errorf("dual cadence = %v, want half of %v", dual.Cadence, single.Cadence)
+	}
+	speedup := float64(single.Time) / float64(dual.Time)
+	if speedup < 1.9 || speedup > 2.05 {
+		t.Errorf("dual-rail speedup = %v, want ≈2", speedup)
+	}
+	if dual.Speedup < 1.9 {
+		t.Errorf("speedup vs Table VI accounting = %v, want ≈2", dual.Speedup)
+	}
+}
+
+func TestReadLimitedPipelineAndStations(t *testing.T) {
+	// With endpoint reads at 227.2 GB/s, a 256 TB cart takes ~1127 s to
+	// read — far beyond the 8.6 s rail cadence, so reads dominate and
+	// stations divide the cadence.
+	readRate := 227.2 * units.GBps
+	one, err := TransferPipelined(DefaultConfig(), 10*256*units.TB,
+		PipelineOptions{DualRail: true, DockStations: 1, ReadRate: readRate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := TransferPipelined(DefaultConfig(), 10*256*units.TB,
+		PipelineOptions{DualRail: true, DockStations: 4, ReadRate: readRate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Cadence <= four.Cadence {
+		t.Error("more stations must shorten the read-limited cadence")
+	}
+	speedup := float64(one.Time) / float64(four.Time)
+	if speedup < 3 || speedup > 4.05 {
+		t.Errorf("4-station speedup = %v, want ≈4 on a read-limited pipeline", speedup)
+	}
+	// Fleet sizing: a read-limited single-station pipeline needs few carts;
+	// more stations need more carts in flight.
+	if one.CartsInFlight() >= four.CartsInFlight() {
+		t.Errorf("carts in flight: %d (1 station) vs %d (4 stations)",
+			one.CartsInFlight(), four.CartsInFlight())
+	}
+}
+
+func TestPipelineBandwidthConsistency(t *testing.T) {
+	pt, err := TransferPipelined(DefaultConfig(), PaperDataset,
+		PipelineOptions{DualRail: true, DockStations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "bandwidth", float64(pt.Bandwidth),
+		float64(PaperDataset)/float64(pt.Time), 1e-12)
+	// Dual-rail delivery-only: steady-state BW approaches cart/oneWay ≈
+	// 29.8 TB/s.
+	if pt.Bandwidth < 28*units.TBps {
+		t.Errorf("pipelined BW = %v, want ≈29.8 TB/s", pt.Bandwidth)
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"repro/internal/units"
+)
+
+// TableVIRow is one evaluated configuration of the paper's Table VI: the
+// single-launch metrics plus the 29 PB comparison columns.
+type TableVIRow struct {
+	Launch      LaunchMetrics
+	Transfer    BulkTransfer
+	Comparisons []Comparison // A0, A1, A2, B, C in order
+}
+
+// DesignSpace returns the 13 rows of Table VI in paper order:
+// a speed sweep, a length sweep, a capacity sweep (all around the default),
+// and the four speed×capacity corners.
+func DesignSpace() ([]TableVIRow, error) {
+	base := DefaultConfig()
+	configs := []Config{
+		// Speed sweep at 500 m / 256 TB.
+		base.With(100, 500, 32),
+		base.With(200, 500, 32),
+		base.With(300, 500, 32),
+		// Length sweep at 200 m/s / 256 TB.
+		base.With(200, 100, 32),
+		base.With(200, 500, 32),
+		base.With(200, 1000, 32),
+		// Capacity sweep at 200 m/s / 500 m.
+		base.With(200, 500, 16),
+		base.With(200, 500, 32),
+		base.With(200, 500, 64),
+		// Corners.
+		base.With(100, 500, 16),
+		base.With(100, 500, 64),
+		base.With(300, 500, 16),
+		base.With(300, 500, 64),
+	}
+	rows := make([]TableVIRow, 0, len(configs))
+	for _, c := range configs {
+		tr, err := Transfer(c, PaperDataset)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TableVIRow{
+			Launch:      tr.Launch,
+			Transfer:    tr,
+			Comparisons: CompareAll(tr),
+		})
+	}
+	return rows, nil
+}
+
+// SweepRanges are the parameter ranges of Table V for custom sweeps.
+var (
+	SweepSpeeds  = []units.MetresPerSecond{100, 200, 300}
+	SweepLengths = []units.Metres{100, 500, 1000}
+	SweepSSDs    = []int{16, 32, 64}
+)
+
+// FullFactorialSweep evaluates every speed × length × cart combination of
+// Table V (27 configurations) against the paper dataset.
+func FullFactorialSweep() ([]TableVIRow, error) {
+	base := DefaultConfig()
+	var rows []TableVIRow
+	for _, v := range SweepSpeeds {
+		for _, l := range SweepLengths {
+			for _, n := range SweepSSDs {
+				tr, err := Transfer(base.With(v, l, n), PaperDataset)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, TableVIRow{
+					Launch:      tr.Launch,
+					Transfer:    tr,
+					Comparisons: CompareAll(tr),
+				})
+			}
+		}
+	}
+	return rows, nil
+}

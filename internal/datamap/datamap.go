@@ -1,0 +1,261 @@
+// Package datamap is the software layer of §III-D that "abstracts ... their
+// data mapping": a catalogue mapping named datasets onto cart SSD extents,
+// with first-fit striped placement, append support (the paper's ML datasets
+// are "regularly reused (and mainly appended)"), and epoch-based staleness —
+// the §III-E standalone-consistency model where DHL data "operate[s] freely
+// ... without requiring costly global synchronisation".
+package datamap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/track"
+	"repro/internal/units"
+)
+
+// DatasetID names a dataset.
+type DatasetID string
+
+// Extent is a contiguous byte range on one SSD of one cart.
+type Extent struct {
+	Cart   track.CartID
+	SSD    int
+	Offset units.Bytes
+	Length units.Bytes
+}
+
+// String renders the extent.
+func (e Extent) String() string {
+	return fmt.Sprintf("cart%d/ssd%d[%v+%v]", e.Cart, e.SSD, e.Offset, e.Length)
+}
+
+// cartSpace tracks per-SSD allocation watermarks on one cart.
+type cartSpace struct {
+	ssdCap units.Bytes
+	used   []units.Bytes // per SSD
+}
+
+func (c *cartSpace) free() units.Bytes {
+	var f units.Bytes
+	for _, u := range c.used {
+		f += c.ssdCap - u
+	}
+	return f
+}
+
+// Catalog is the dataset → extent mapping.
+type Catalog struct {
+	carts    map[track.CartID]*cartSpace
+	cartIDs  []track.CartID // stable placement order
+	datasets map[DatasetID][]Extent
+	epochs   map[DatasetID]uint64
+}
+
+// NewCatalog returns an empty catalogue.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		carts:    make(map[track.CartID]*cartSpace),
+		datasets: make(map[DatasetID][]Extent),
+		epochs:   make(map[DatasetID]uint64),
+	}
+}
+
+// Errors returned by the catalogue.
+var (
+	ErrCartExists     = errors.New("datamap: cart already registered")
+	ErrUnknownDataset = errors.New("datamap: unknown dataset")
+	ErrDatasetExists  = errors.New("datamap: dataset already placed")
+	ErrNoSpace        = errors.New("datamap: insufficient free space")
+)
+
+// AddCart registers a cart's storage with the catalogue.
+func (c *Catalog) AddCart(id track.CartID, numSSDs int, ssdCap units.Bytes) error {
+	if numSSDs < 1 || ssdCap <= 0 {
+		return errors.New("datamap: cart needs ≥1 SSD of positive capacity")
+	}
+	if _, ok := c.carts[id]; ok {
+		return fmt.Errorf("%w: %d", ErrCartExists, id)
+	}
+	c.carts[id] = &cartSpace{ssdCap: ssdCap, used: make([]units.Bytes, numSSDs)}
+	c.cartIDs = append(c.cartIDs, id)
+	sort.Slice(c.cartIDs, func(i, j int) bool { return c.cartIDs[i] < c.cartIDs[j] })
+	return nil
+}
+
+// FreeBytes is the total unallocated capacity.
+func (c *Catalog) FreeBytes() units.Bytes {
+	var f units.Bytes
+	for _, cs := range c.carts {
+		f += cs.free()
+	}
+	return f
+}
+
+// allocate carves size bytes as extents, filling carts in ID order and
+// striping evenly across each cart's SSDs.
+func (c *Catalog) allocate(size units.Bytes) ([]Extent, error) {
+	if size <= 0 {
+		return nil, errors.New("datamap: size must be positive")
+	}
+	if c.FreeBytes() < size {
+		return nil, fmt.Errorf("%w: need %v, have %v", ErrNoSpace, size, c.FreeBytes())
+	}
+	var out []Extent
+	remaining := size
+	for _, id := range c.cartIDs {
+		if remaining <= 0 {
+			break
+		}
+		cs := c.carts[id]
+		cartFree := cs.free()
+		if cartFree <= 0 {
+			continue
+		}
+		take := remaining
+		if take > cartFree {
+			take = cartFree
+		}
+		// Stripe the take across SSDs proportionally to their free space.
+		left := take
+		for ssd := range cs.used {
+			if left <= 0 {
+				break
+			}
+			ssdFree := cs.ssdCap - cs.used[ssd]
+			if ssdFree <= 0 {
+				continue
+			}
+			chunk := units.Bytes(float64(take) / float64(len(cs.used)))
+			if chunk > ssdFree {
+				chunk = ssdFree
+			}
+			if chunk > left {
+				chunk = left
+			}
+			if chunk <= 0 {
+				continue
+			}
+			out = append(out, Extent{Cart: id, SSD: ssd, Offset: cs.used[ssd], Length: chunk})
+			cs.used[ssd] += chunk
+			left -= chunk
+		}
+		// Sweep up any rounding residue onto SSDs with space.
+		for ssd := range cs.used {
+			if left <= 0 {
+				break
+			}
+			ssdFree := cs.ssdCap - cs.used[ssd]
+			if ssdFree <= 0 {
+				continue
+			}
+			chunk := left
+			if chunk > ssdFree {
+				chunk = ssdFree
+			}
+			out = append(out, Extent{Cart: id, SSD: ssd, Offset: cs.used[ssd], Length: chunk})
+			cs.used[ssd] += chunk
+			left -= chunk
+		}
+		remaining -= take - left
+	}
+	if remaining > 1e-6 {
+		return nil, fmt.Errorf("%w: %v unplaced after sweep", ErrNoSpace, remaining)
+	}
+	return out, nil
+}
+
+// Place allocates a new dataset.
+func (c *Catalog) Place(ds DatasetID, size units.Bytes) ([]Extent, error) {
+	if _, ok := c.datasets[ds]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDatasetExists, ds)
+	}
+	ext, err := c.allocate(size)
+	if err != nil {
+		return nil, err
+	}
+	c.datasets[ds] = ext
+	c.epochs[ds] = 1
+	return ext, nil
+}
+
+// Append grows a dataset and bumps its epoch (readers holding the old epoch
+// become stale).
+func (c *Catalog) Append(ds DatasetID, size units.Bytes) ([]Extent, error) {
+	if _, ok := c.datasets[ds]; !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, ds)
+	}
+	ext, err := c.allocate(size)
+	if err != nil {
+		return nil, err
+	}
+	c.datasets[ds] = append(c.datasets[ds], ext...)
+	c.epochs[ds]++
+	return ext, nil
+}
+
+// Locate returns a dataset's extents and current epoch.
+func (c *Catalog) Locate(ds DatasetID) ([]Extent, uint64, error) {
+	ext, ok := c.datasets[ds]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownDataset, ds)
+	}
+	return append([]Extent(nil), ext...), c.epochs[ds], nil
+}
+
+// Size is the dataset's total bytes.
+func (c *Catalog) Size(ds DatasetID) (units.Bytes, error) {
+	ext, ok := c.datasets[ds]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownDataset, ds)
+	}
+	var s units.Bytes
+	for _, e := range ext {
+		s += e.Length
+	}
+	return s, nil
+}
+
+// CartsFor lists the carts that must be shuttled to deliver the dataset, in
+// ID order.
+func (c *Catalog) CartsFor(ds DatasetID) ([]track.CartID, error) {
+	ext, ok := c.datasets[ds]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, ds)
+	}
+	seen := map[track.CartID]bool{}
+	var out []track.CartID
+	for _, e := range ext {
+		if !seen[e.Cart] {
+			seen[e.Cart] = true
+			out = append(out, e.Cart)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Stale reports whether a snapshot taken at the given epoch has been
+// superseded by appends — the §III-E check a reader makes instead of global
+// synchronisation.
+func (c *Catalog) Stale(ds DatasetID, epoch uint64) (bool, error) {
+	cur, ok := c.epochs[ds]
+	if !ok {
+		return false, fmt.Errorf("%w: %q", ErrUnknownDataset, ds)
+	}
+	return epoch < cur, nil
+}
+
+// Delete removes a dataset; its space is NOT reclaimed (extents are
+// append-only watermarks, matching flash-friendly bulk layouts). Returns
+// the bytes released from the namespace.
+func (c *Catalog) Delete(ds DatasetID) (units.Bytes, error) {
+	s, err := c.Size(ds)
+	if err != nil {
+		return 0, err
+	}
+	delete(c.datasets, ds)
+	delete(c.epochs, ds)
+	return s, nil
+}

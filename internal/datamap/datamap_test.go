@@ -1,0 +1,260 @@
+package datamap
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/track"
+	"repro/internal/units"
+)
+
+func newCatalog(t *testing.T, carts int) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	for i := 0; i < carts; i++ {
+		if err := c.AddCart(track.CartID(i), 32, 8*units.TB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestAddCartValidation(t *testing.T) {
+	c := NewCatalog()
+	if err := c.AddCart(0, 0, units.TB); err == nil {
+		t.Error("zero SSDs must be rejected")
+	}
+	if err := c.AddCart(0, 4, 0); err == nil {
+		t.Error("zero capacity must be rejected")
+	}
+	if err := c.AddCart(0, 32, 8*units.TB); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddCart(0, 32, 8*units.TB); !errors.Is(err, ErrCartExists) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPlaceSingleCart(t *testing.T) {
+	c := newCatalog(t, 1)
+	ext, err := c.Place("laion", 128*units.TB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum units.Bytes
+	for _, e := range ext {
+		if e.Cart != 0 {
+			t.Errorf("extent on cart %d", e.Cart)
+		}
+		sum += e.Length
+		if e.String() == "" {
+			t.Error("empty extent string")
+		}
+	}
+	if math.Abs(float64(sum-128*units.TB)) > 1 {
+		t.Errorf("placed %v, want 128TB", sum)
+	}
+	// Evenly striped: each of 32 SSDs holds 4 TB.
+	perSSD := map[int]units.Bytes{}
+	for _, e := range ext {
+		perSSD[e.SSD] += e.Length
+	}
+	if len(perSSD) != 32 {
+		t.Errorf("striped over %d SSDs, want 32", len(perSSD))
+	}
+	for ssd, b := range perSSD {
+		if math.Abs(float64(b-4*units.TB)) > 1 {
+			t.Errorf("ssd %d holds %v, want 4TB", ssd, b)
+		}
+	}
+	if c.FreeBytes() != 128*units.TB {
+		t.Errorf("free = %v, want 128TB", c.FreeBytes())
+	}
+}
+
+func TestPlaceSpansCarts(t *testing.T) {
+	c := newCatalog(t, 3) // 3 × 256 TB
+	ext, err := c.Place("meta", 600*units.TB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carts, err := c.CartsFor("meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(carts) != 3 {
+		t.Errorf("carts = %v, want 3", carts)
+	}
+	// Carts fill in ID order: cart 0 and 1 full, cart 2 partial.
+	var onCart2 units.Bytes
+	for _, e := range ext {
+		if e.Cart == 2 {
+			onCart2 += e.Length
+		}
+	}
+	if math.Abs(float64(onCart2-88*units.TB)) > 1 {
+		t.Errorf("cart 2 holds %v, want 88TB", onCart2)
+	}
+	sz, err := c.Size("meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(sz-600*units.TB)) > 1 {
+		t.Errorf("size = %v", sz)
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	c := newCatalog(t, 1)
+	if _, err := c.Place("x", 0); err == nil {
+		t.Error("zero size must error")
+	}
+	if _, err := c.Place("big", units.PB); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := c.Place("a", units.TB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Place("a", units.TB); !errors.Is(err, ErrDatasetExists) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAppendBumpsEpoch(t *testing.T) {
+	c := newCatalog(t, 2)
+	if _, err := c.Place("ds", 100*units.TB); err != nil {
+		t.Fatal(err)
+	}
+	_, epoch0, err := c.Locate("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch0 != 1 {
+		t.Errorf("initial epoch = %d", epoch0)
+	}
+	stale, err := c.Stale("ds", epoch0)
+	if err != nil || stale {
+		t.Errorf("fresh snapshot reported stale: %v %v", stale, err)
+	}
+	if _, err := c.Append("ds", 50*units.TB); err != nil {
+		t.Fatal(err)
+	}
+	stale, err = c.Stale("ds", epoch0)
+	if err != nil || !stale {
+		t.Error("snapshot must be stale after append")
+	}
+	sz, _ := c.Size("ds")
+	if math.Abs(float64(sz-150*units.TB)) > 1 {
+		t.Errorf("size after append = %v", sz)
+	}
+	if _, err := c.Append("nope", units.TB); !errors.Is(err, ErrUnknownDataset) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLocateReturnsCopy(t *testing.T) {
+	c := newCatalog(t, 1)
+	c.Place("ds", units.TB)
+	ext, _, err := c.Locate("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext[0].Length = 0 // mutate the copy
+	ext2, _, _ := c.Locate("ds")
+	if ext2[0].Length == 0 {
+		t.Error("Locate must return a defensive copy")
+	}
+	if _, _, err := c.Locate("nope"); !errors.Is(err, ErrUnknownDataset) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := newCatalog(t, 1)
+	c.Place("ds", units.TB)
+	released, err := c.Delete("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(released-units.TB)) > 1 {
+		t.Errorf("released = %v", released)
+	}
+	if _, _, err := c.Locate("ds"); !errors.Is(err, ErrUnknownDataset) {
+		t.Error("deleted dataset must be gone")
+	}
+	if _, err := c.Delete("ds"); !errors.Is(err, ErrUnknownDataset) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := c.Stale("ds", 1); !errors.Is(err, ErrUnknownDataset) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := c.CartsFor("ds"); !errors.Is(err, ErrUnknownDataset) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := c.Size("ds"); !errors.Is(err, ErrUnknownDataset) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestNoOverlapProperty places random datasets and checks extents never
+// overlap and sizes are conserved.
+func TestNoOverlapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCatalog()
+		for i := 0; i < 4; i++ {
+			if err := c.AddCart(track.CartID(i), 8, 8*units.TB); err != nil {
+				return false
+			}
+		}
+		type key struct {
+			cart track.CartID
+			ssd  int
+		}
+		watermark := map[key]units.Bytes{}
+		for i := 0; i < 20; i++ {
+			size := units.Bytes(1+rng.Intn(20)) * units.TB
+			ext, err := c.Place(DatasetID(rune('a'+i)), size)
+			if err != nil {
+				// Only acceptable failure is running out of space.
+				return errors.Is(err, ErrNoSpace)
+			}
+			var sum units.Bytes
+			for _, e := range ext {
+				k := key{e.Cart, e.SSD}
+				if e.Offset < watermark[k] {
+					return false // overlap with previous allocation
+				}
+				watermark[k] = e.Offset + e.Length
+				if watermark[k] > 8*units.TB+1 {
+					return false // beyond device capacity
+				}
+				sum += e.Length
+			}
+			if math.Abs(float64(sum-size)) > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartsForOrder(t *testing.T) {
+	c := newCatalog(t, 3)
+	c.Place("ds", 700*units.TB)
+	carts, err := c.CartsFor("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(carts); i++ {
+		if carts[i] <= carts[i-1] {
+			t.Errorf("carts not sorted: %v", carts)
+		}
+	}
+}

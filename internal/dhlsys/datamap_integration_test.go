@@ -1,0 +1,104 @@
+package dhlsys
+
+// Integration: the data-mapping catalogue (§III-D) decides which carts hold
+// a dataset; the system simulation shuttles exactly those carts; the
+// delivered capacity covers the dataset.
+
+import (
+	"testing"
+
+	"repro/internal/datamap"
+	"repro/internal/track"
+	"repro/internal/units"
+)
+
+func TestDeliverDatasetByCatalog(t *testing.T) {
+	opt := DefaultOptions()
+	opt.NumCarts = 6
+	opt.DockStations = 6
+	s := mustSystem(t, opt)
+
+	// Register the fleet's storage with the catalogue and place a dataset.
+	cat := datamap.NewCatalog()
+	for i := 0; i < opt.NumCarts; i++ {
+		if err := cat.AddCart(track.CartID(i), 32, 8*units.TB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const ds = datamap.DatasetID("training-set")
+	dataset := 700 * units.TB // spans 3 of the 256 TB carts
+	if _, err := cat.Place(ds, dataset); err != nil {
+		t.Fatal(err)
+	}
+	carts, err := cat.CartsFor(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(carts) != 3 {
+		t.Fatalf("catalog spread %v over %d carts, want 3", dataset, len(carts))
+	}
+
+	// Shuttle exactly the catalogue's carts to the endpoint.
+	delivered := 0
+	for _, id := range carts {
+		id := id
+		s.Open(id, func(err error) {
+			if err != nil {
+				t.Errorf("open cart %d: %v", id, err)
+				return
+			}
+			delivered++
+		})
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != len(carts) {
+		t.Fatalf("delivered %d of %d carts", delivered, len(carts))
+	}
+	// The docked capacity covers the dataset.
+	var capacity units.Bytes
+	for _, id := range carts {
+		c, err := s.Cart(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Loc != AtDock {
+			t.Fatalf("cart %d at %v, want dock", id, c.Loc)
+		}
+		capacity += opt.Core.Cart.Capacity()
+	}
+	if capacity < dataset {
+		t.Errorf("docked capacity %v < dataset %v", capacity, dataset)
+	}
+	// Carts the catalogue did not name stayed in the library.
+	for i := 0; i < opt.NumCarts; i++ {
+		id := track.CartID(i)
+		named := false
+		for _, c := range carts {
+			if c == id {
+				named = true
+			}
+		}
+		c, _ := s.Cart(id)
+		if !named && c.Loc != AtLibrary {
+			t.Errorf("unnamed cart %d left the library", id)
+		}
+	}
+	// Appending to the dataset bumps the epoch, signalling the docked
+	// snapshot is stale (§III-E consistency model).
+	_, epoch, err := cat.Locate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Append(ds, 10*units.TB); err != nil {
+		t.Fatal(err)
+	}
+	stale, err := cat.Stale(ds, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stale {
+		t.Error("docked snapshot must be stale after an append")
+	}
+}

@@ -1,0 +1,181 @@
+package dhlsys
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/track"
+	"repro/internal/units"
+)
+
+// This file implements the bulk-transfer orchestrator used by the paper's
+// target workloads (§II-D): move a dataset resident in the library to the
+// endpoint with repeated, optionally pipelined, cart deliveries.
+//
+// Per the paper's methodology, data load/unload time at the library is not
+// charged ("we assume the whole dataset resides in the library"; "we do not
+// account for the time or energy of reading the data, which must be done in
+// both the traditional and DHL settings"). The endpoint-side SSD read *can*
+// be enabled to study pipelining, which is exactly the case where multiple
+// docking stations pay off.
+
+// ShuttleOptions configures a bulk transfer.
+type ShuttleOptions struct {
+	// Dataset to deliver to the endpoint.
+	Dataset units.Bytes
+	// ReadAtEndpoint makes each delivery read the full cart contents through
+	// the docking PCIe interface before releasing the cart. While one cart
+	// is being read, others can be in flight (§V-B pipelining).
+	ReadAtEndpoint bool
+	// MaxRetries bounds redelivery attempts after in-flight failures;
+	// 0 means deliveries × 10.
+	MaxRetries int
+}
+
+// ShuttleResult summarises a completed bulk transfer.
+type ShuttleResult struct {
+	// Deliveries completed (each one cart-capacity of data).
+	Deliveries int
+	// Retries due to in-flight storage failures.
+	Retries int
+	// Duration of the whole transfer, including final cart returns.
+	Duration units.Seconds
+	// Energy charged for all launches.
+	Energy units.Joules
+	// BytesDelivered to the endpoint (deliveries × cart capacity, the last
+	// delivery counted in full as in the analytical model).
+	BytesDelivered units.Bytes
+	// FailureErrors reported by the API during the run (§III-D).
+	FailureErrors []error
+}
+
+// EffectiveBandwidth is delivered data over duration.
+func (r ShuttleResult) EffectiveBandwidth() units.BytesPerSecond {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return units.BytesPerSecond(float64(r.BytesDelivered) / float64(r.Duration))
+}
+
+// ErrRetriesExhausted is returned when failures prevent completing delivery.
+var ErrRetriesExhausted = errors.New("dhlsys: delivery retries exhausted")
+
+// PreloadFleet fills every cart's array to capacity instantly, modelling the
+// dataset already residing on library carts.
+func (s *System) PreloadFleet() error {
+	for _, c := range s.carts {
+		if free := c.Array.Capacity() - c.Array.Used(); free > 0 {
+			if _, err := c.Array.Write(free); err != nil {
+				return fmt.Errorf("dhlsys: preload cart %d: %w", c.ID, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Shuttle runs a bulk transfer to completion and returns its result. It
+// drives the simulation engine itself; the system must be otherwise idle.
+func (s *System) Shuttle(opt ShuttleOptions) (ShuttleResult, error) {
+	if opt.Dataset <= 0 {
+		return ShuttleResult{}, fmt.Errorf("dhlsys: dataset must be positive, got %v", opt.Dataset)
+	}
+	capB := s.opt.Core.Cart.Capacity()
+	deliveries := int(math.Ceil(float64(opt.Dataset) / float64(capB)))
+	maxRetries := opt.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = deliveries * 10
+	}
+	// Endpoint reads move the array's usable payload, which is slightly
+	// below the nominal cart capacity for parity RAID levels.
+	readB := capB
+	if opt.ReadAtEndpoint {
+		if err := s.PreloadFleet(); err != nil {
+			return ShuttleResult{}, err
+		}
+		s.autoReload = true
+		defer func() { s.autoReload = false }()
+		for _, c := range s.carts {
+			if ac := c.Array.Capacity(); ac < readB {
+				readB = ac
+			}
+		}
+	}
+
+	startEnergy := s.stats.Energy
+	start := s.Engine.Now()
+	res := ShuttleResult{}
+	claimed := 0 // delivery slots handed to workers
+	var fatal error
+
+	// Each cart runs an independent worker loop: claim a slot, Open,
+	// optionally Read, Close, repeat. The System's internal FIFO queue
+	// serialises resource contention.
+	var workers []func()
+	for i := 0; i < s.opt.NumCarts; i++ {
+		id := track.CartID(i)
+		var loop func()
+		loop = func() {
+			if fatal != nil || claimed >= deliveries {
+				return
+			}
+			claimed++
+			s.Open(id, func(err error) {
+				if err != nil {
+					fatal = fmt.Errorf("dhlsys: open cart %d: %w", id, err)
+					return
+				}
+				finish := func(delivered bool) {
+					if delivered {
+						res.Deliveries++
+					} else {
+						claimed-- // slot back for redelivery
+						res.Retries++
+						if res.Retries > maxRetries {
+							fatal = fmt.Errorf("%w: %d retries", ErrRetriesExhausted, res.Retries)
+							return
+						}
+					}
+					s.Close(id, func(err error) {
+						if err != nil {
+							fatal = fmt.Errorf("dhlsys: close cart %d: %w", id, err)
+							return
+						}
+						loop()
+					})
+				}
+				if !opt.ReadAtEndpoint {
+					// Delivery = cart physically present; §V-B accounting.
+					finish(true)
+					return
+				}
+				s.Read(id, readB, func(_ units.Seconds, err error) {
+					if err != nil {
+						// In-flight failure surfaced by the API; redeliver.
+						res.FailureErrors = append(res.FailureErrors, err)
+						finish(false)
+						return
+					}
+					finish(true)
+				})
+			})
+		}
+		workers = append(workers, loop)
+	}
+	for _, w := range workers {
+		w()
+	}
+	if _, err := s.Run(); err != nil {
+		return res, err
+	}
+	if fatal != nil {
+		return res, fatal
+	}
+	if res.Deliveries != deliveries {
+		return res, fmt.Errorf("dhlsys: delivered %d of %d", res.Deliveries, deliveries)
+	}
+	res.Duration = s.Engine.Now() - start
+	res.Energy = s.stats.Energy - startEnergy
+	res.BytesDelivered = units.Bytes(float64(deliveries)) * capB
+	return res, nil
+}

@@ -1,0 +1,46 @@
+package dhlsys
+
+// Cross-check: the closed-form pipelined transfer model (internal/core)
+// against the event-driven simulation. The two are independent
+// implementations of §V-B pipelining; they must agree.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/track"
+	"repro/internal/units"
+)
+
+func TestPipelinedClosedFormMatchesSimulation(t *testing.T) {
+	dataset := 12 * 256 * units.TB
+	readRate := 227.2 * units.GBps // the 32×7.1 GB/s cart array
+
+	pt, err := core.TransferPipelined(core.DefaultConfig(), dataset, core.PipelineOptions{
+		DualRail:     true,
+		DockStations: 4,
+		ReadRate:     readRate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt := DefaultOptions()
+	opt.RailMode = track.DualRail
+	opt.DockStations = 4
+	opt.NumCarts = pt.CartsInFlight() + 1
+	sys := mustSystem(t, opt)
+	res, err := sys.Shuttle(ShuttleOptions{Dataset: dataset, ReadAtEndpoint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The simulation additionally waits for the final cart's return leg and
+	// schedules with imperfect lookahead; agreement within 10 % validates
+	// both models.
+	ratio := float64(res.Duration) / float64(pt.Time)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("simulated %v vs closed-form %v (ratio %.3f), want within 10%%",
+			res.Duration, pt.Time, ratio)
+	}
+}

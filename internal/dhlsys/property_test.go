@@ -1,0 +1,56 @@
+package dhlsys
+
+// Cross-model property: for random valid configurations, the sequential
+// event-driven simulation must agree exactly with the closed-form
+// analytical model — the two are independent derivations from the same
+// physics.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+func TestSimMatchesAnalyticAcrossConfigsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		speeds := []units.MetresPerSecond{100, 150, 200, 250, 300}
+		lengths := []units.Metres{100, 300, 500, 1000}
+		ssds := []int{8, 16, 32, 64}
+		cfg := core.DefaultConfig().With(
+			speeds[rng.Intn(len(speeds))],
+			lengths[rng.Intn(len(lengths))],
+			ssds[rng.Intn(len(ssds))],
+		)
+		if cfg.Validate() != nil {
+			return true // infeasible combos (ramps > track) are out of scope
+		}
+		opt := DefaultOptions()
+		opt.Core = cfg
+		opt.NumCarts = 1
+		opt.DockStations = 1
+		sys, err := New(opt)
+		if err != nil {
+			return false
+		}
+		trips := 2 + rng.Intn(5)
+		dataset := units.Bytes(float64(trips)) * cfg.Cart.Capacity()
+		res, err := sys.Shuttle(ShuttleOptions{Dataset: dataset})
+		if err != nil {
+			return false
+		}
+		an, err := core.Transfer(cfg, dataset)
+		if err != nil {
+			return false
+		}
+		dt := float64(res.Duration) - float64(an.Time)
+		de := float64(res.Energy) - float64(an.Energy)
+		return dt < 1e-6 && dt > -1e-6 && de < 1e-6 && de > -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,495 @@
+// Package dhlsys is the event-driven simulation of a full DHL deployment:
+// carts, a library, an endpoint dock bank, the rail(s), the cart scheduler,
+// and the software API of §III-D (Open / Close / Read / Write). It composes
+// the physics and analytical models (internal/core) with the plant state
+// machines (internal/track) on the shared event kernel (internal/sim).
+//
+// The simulation charges exactly the analytical model's launch time and
+// energy per one-way trip, so sequential bulk transfers agree with
+// internal/core's closed-form answers; its value is everything the closed
+// form cannot express — multi-dock pipelining, dual-rail concurrency,
+// contention, queueing, and in-flight SSD failures.
+package dhlsys
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/track"
+	"repro/internal/units"
+)
+
+// Options configures a simulated deployment.
+type Options struct {
+	// Core is the physical DHL configuration (cart, track, LIM, docking).
+	Core core.Config
+	// RailMode selects single or dual rail (§VI alternative track designs).
+	RailMode track.RailMode
+	// DockStations at the endpoint (vertically stacked, §III-B.5).
+	DockStations int
+	// LibrarySlots (0 = unbounded).
+	LibrarySlots int
+	// NumCarts in the fleet.
+	NumCarts int
+	// RAID level of each cart's array and the docking PCIe interface.
+	RAID        storage.RAIDLevel
+	PCIeGen     int
+	LanesPerSSD int
+	// FailureRate is the per-launch probability that one SSD on the cart
+	// fails in flight (§III-D failure amelioration).
+	FailureRate float64
+	// Seed drives the failure-injection RNG; simulations are deterministic
+	// for a fixed seed.
+	Seed int64
+	// Wear, if non-nil, tracks connector mating cycles per cart (§VI
+	// connector longevity); carts due for service are re-connectored at
+	// the library, paying the connector's replacement downtime.
+	Wear *fleet.Fleet
+}
+
+// DefaultOptions is the paper's primary setup: default DHL, single rail,
+// 4 docking stations, 2-cart fleet, RAID0, PCIe 6 ×1/SSD, no failures.
+func DefaultOptions() Options {
+	return Options{
+		Core:         core.DefaultConfig(),
+		RailMode:     track.SingleRail,
+		DockStations: 4,
+		NumCarts:     2,
+		RAID:         storage.RAID0,
+		PCIeGen:      6,
+		LanesPerSSD:  1,
+	}
+}
+
+// Location of a cart.
+type Location int
+
+const (
+	// AtLibrary: parked in cold storage.
+	AtLibrary Location = iota
+	// InTransit: on the rail.
+	InTransit
+	// AtDock: docked at the endpoint (or mid-dock).
+	AtDock
+)
+
+// String implements fmt.Stringer.
+func (l Location) String() string {
+	switch l {
+	case AtLibrary:
+		return "library"
+	case InTransit:
+		return "transit"
+	case AtDock:
+		return "dock"
+	default:
+		return fmt.Sprintf("Location(%d)", int(l))
+	}
+}
+
+// Cart is a simulated cart: identity, storage array, and position.
+type Cart struct {
+	ID    track.CartID
+	Array *storage.Array
+	Loc   Location
+	// Busy marks a cart with an in-flight operation (launch, return, IO).
+	Busy bool
+}
+
+// Stats accumulates simulation-wide accounting.
+type Stats struct {
+	Launches     int // one-way trips completed
+	DockOps      int // dock + undock operations
+	Energy       units.Joules
+	BytesRead    units.Bytes
+	BytesWritten units.Bytes
+	FailuresSeen int // SSDs failed in flight
+	Denied       int // API requests failed immediately
+	Queued       int // API requests that had to wait for resources
+	// Connector-wear accounting (only populated when Options.Wear is set).
+	ConnectorServices int
+	MaintenanceTime   units.Seconds
+	MaintenanceCost   units.USD
+}
+
+// API errors (§III-D: "the endpoint's DHL API will report the error").
+var (
+	ErrUnknownCart  = errors.New("dhlsys: unknown cart")
+	ErrCartBusy     = errors.New("dhlsys: cart has an operation in flight")
+	ErrNotAtLibrary = errors.New("dhlsys: cart not at the library")
+	ErrNotDocked    = errors.New("dhlsys: cart not docked at the endpoint")
+	ErrCartFailed   = errors.New("dhlsys: cart storage failed in flight")
+)
+
+// System is a running deployment simulation.
+type System struct {
+	Engine *sim.Engine
+
+	opt    Options
+	launch core.LaunchMetrics
+	rail   *track.Rail
+	dock   *track.DockBank
+	lib    *track.Library
+	carts  map[track.CartID]*Cart
+	rng    *rand.Rand
+	stats  Stats
+
+	// waiting holds deferred Open requests (FIFO).
+	waiting []func() bool
+
+	// autoReload refills cart arrays on return to the library (the dataset
+	// resides in the library; reload time is not charged, per §V-B). Enabled
+	// by Shuttle when endpoint reads are requested, so that carts whose
+	// failed SSDs were serviced leave fully loaded again.
+	autoReload bool
+}
+
+// New builds a system with the fleet parked at the library.
+func New(opt Options) (*System, error) {
+	if opt.NumCarts < 1 {
+		return nil, errors.New("dhlsys: need at least one cart")
+	}
+	if opt.FailureRate < 0 || opt.FailureRate > 1 {
+		return nil, fmt.Errorf("dhlsys: failure rate must be in [0,1], got %v", opt.FailureRate)
+	}
+	l, err := core.Launch(opt.Core)
+	if err != nil {
+		return nil, err
+	}
+	dock, err := track.NewDockBank(opt.DockStations)
+	if err != nil {
+		return nil, err
+	}
+	if opt.LibrarySlots > 0 && opt.LibrarySlots < opt.NumCarts {
+		return nil, fmt.Errorf("dhlsys: %d library slots cannot hold %d carts",
+			opt.LibrarySlots, opt.NumCarts)
+	}
+	s := &System{
+		Engine: sim.New(),
+		opt:    opt,
+		launch: l,
+		rail:   track.NewRail(opt.RailMode),
+		dock:   dock,
+		lib:    track.NewLibrary(opt.LibrarySlots),
+		carts:  make(map[track.CartID]*Cart),
+		rng:    rand.New(rand.NewSource(opt.Seed)),
+	}
+	for i := 0; i < opt.NumCarts; i++ {
+		id := track.CartID(i)
+		arr, err := opt.Core.Cart.NewArray(opt.RAID, opt.PCIeGen, opt.LanesPerSSD)
+		if err != nil {
+			return nil, err
+		}
+		s.carts[id] = &Cart{ID: id, Array: arr, Loc: AtLibrary}
+		if err := s.lib.Store(id); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Stats returns a snapshot of the accounting counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// Launch returns the per-trip analytical metrics the simulation charges.
+func (s *System) Launch() core.LaunchMetrics { return s.launch }
+
+// Cart returns the cart state for inspection.
+func (s *System) Cart(id track.CartID) (*Cart, error) {
+	c, ok := s.carts[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownCart, id)
+	}
+	return c, nil
+}
+
+// oneWayTime decomposes the launch into undock + transit + dock.
+func (s *System) transitTime() units.Seconds {
+	return s.launch.Time - s.opt.Core.DockTime - s.opt.Core.UndockTime
+}
+
+// retryWaiting re-attempts queued requests after any resource release.
+func (s *System) retryWaiting() {
+	remaining := s.waiting[:0]
+	for _, try := range s.waiting {
+		if !try() {
+			remaining = append(remaining, try)
+		}
+	}
+	s.waiting = remaining
+}
+
+func (s *System) enqueue(try func() bool) {
+	if try() {
+		return
+	}
+	s.stats.Queued++
+	s.waiting = append(s.waiting, try)
+}
+
+// maybeFailSSD rolls the in-flight failure dice for one launch.
+func (s *System) maybeFailSSD(c *Cart) {
+	if s.opt.FailureRate <= 0 {
+		return
+	}
+	if s.rng.Float64() < s.opt.FailureRate {
+		idx := s.rng.Intn(len(c.Array.Devices))
+		c.Array.Devices[idx].Fail()
+		s.stats.FailuresSeen++
+	}
+}
+
+// Open requests cart id be shuttled from the library to an endpoint docking
+// station (§III-D command 1). done is invoked at completion (or with the
+// reason the request was denied outright). Requests that only lack resources
+// (rail busy, docks full) wait in FIFO order rather than failing.
+func (s *System) Open(id track.CartID, done func(error)) {
+	c, ok := s.carts[id]
+	if !ok {
+		s.stats.Denied++
+		done(fmt.Errorf("%w: %d", ErrUnknownCart, id))
+		return
+	}
+	if c.Busy {
+		s.stats.Denied++
+		done(fmt.Errorf("%w: cart %d", ErrCartBusy, id))
+		return
+	}
+	if c.Loc != AtLibrary {
+		s.stats.Denied++
+		done(fmt.Errorf("%w: cart %d at %v", ErrNotAtLibrary, id, c.Loc))
+		return
+	}
+	c.Busy = true
+	s.enqueue(func() bool {
+		// Need: outbound rail free and a free station with no mid-dock cart.
+		if !s.rail.Free(track.Outbound) || s.dock.Blocked() || s.dock.FreeStations() == 0 {
+			return false
+		}
+		if err := s.rail.Reserve(id, track.Outbound); err != nil {
+			return false
+		}
+		if err := s.lib.Remove(id); err != nil {
+			// Programming error; surface it.
+			s.rail.Release(id, track.Outbound)
+			c.Busy = false
+			done(err)
+			return true
+		}
+		s.runOutbound(c, done)
+		return true
+	})
+}
+
+// runOutbound performs library undock → transit → endpoint dock.
+func (s *System) runOutbound(c *Cart, done func(error)) {
+	c.Loc = InTransit
+	s.Engine.MustAfter(s.opt.Core.UndockTime, "undock@library", func() {
+		s.stats.DockOps++
+		s.maybeFailSSD(c)
+		s.Engine.MustAfter(s.transitTime(), "transit-out", func() {
+			if _, err := s.dock.BeginDock(c.ID); err != nil {
+				// Station stolen between reservation and arrival cannot
+				// happen (rail reservation covers the window); treat as bug.
+				panic(fmt.Sprintf("dhlsys: dock reservation violated: %v", err))
+			}
+			s.Engine.MustAfter(s.opt.Core.DockTime, "dock@endpoint", func() {
+				if err := s.dock.EndDock(c.ID); err != nil {
+					panic(err)
+				}
+				s.stats.DockOps++
+				if s.opt.Wear != nil {
+					// Endpoint mating cycle; service is deferred to the
+					// library (§III-B.6).
+					if _, err := s.opt.Wear.RecordDock(c.ID); err != nil {
+						panic(err)
+					}
+				}
+				s.stats.Launches++
+				s.stats.Energy += s.launch.Energy
+				if err := s.rail.Release(c.ID, track.Outbound); err != nil {
+					panic(err)
+				}
+				c.Loc = AtDock
+				c.Busy = false
+				s.retryWaiting()
+				done(nil)
+			})
+		})
+	})
+}
+
+// Close requests cart id be undocked and returned to the library (§III-D
+// command 2).
+func (s *System) Close(id track.CartID, done func(error)) {
+	c, ok := s.carts[id]
+	if !ok {
+		s.stats.Denied++
+		done(fmt.Errorf("%w: %d", ErrUnknownCart, id))
+		return
+	}
+	if c.Busy {
+		s.stats.Denied++
+		done(fmt.Errorf("%w: cart %d", ErrCartBusy, id))
+		return
+	}
+	if c.Loc != AtDock || !s.dock.Docked(id) {
+		s.stats.Denied++
+		done(fmt.Errorf("%w: cart %d at %v", ErrNotDocked, id, c.Loc))
+		return
+	}
+	c.Busy = true
+	s.enqueue(func() bool {
+		if !s.rail.Free(track.Inbound) || s.dock.Blocked() {
+			return false
+		}
+		if err := s.rail.Reserve(id, track.Inbound); err != nil {
+			return false
+		}
+		if err := s.dock.BeginUndock(id); err != nil {
+			s.rail.Release(id, track.Inbound)
+			c.Busy = false
+			done(err)
+			return true
+		}
+		s.runInbound(c, done)
+		return true
+	})
+}
+
+// runInbound performs endpoint undock → transit → library dock.
+func (s *System) runInbound(c *Cart, done func(error)) {
+	s.Engine.MustAfter(s.opt.Core.UndockTime, "undock@endpoint", func() {
+		if err := s.dock.EndUndock(c.ID); err != nil {
+			panic(err)
+		}
+		s.stats.DockOps++
+		c.Loc = InTransit
+		s.maybeFailSSD(c)
+		s.Engine.MustAfter(s.transitTime(), "transit-in", func() {
+			s.Engine.MustAfter(s.opt.Core.DockTime, "dock@library", func() {
+				s.stats.DockOps++
+				s.stats.Launches++
+				s.stats.Energy += s.launch.Energy
+				if err := s.rail.Release(c.ID, track.Inbound); err != nil {
+					panic(err)
+				}
+				if err := s.lib.Store(c.ID); err != nil {
+					c.Busy = false
+					done(err)
+					return
+				}
+				c.Loc = AtLibrary
+				c.Busy = false
+				// Failed SSDs are serviced at the library (§III-B.6).
+				for _, d := range c.Array.Devices {
+					if d.Failed() {
+						d.Repair()
+					}
+				}
+				if s.autoReload {
+					// Top up each device: only serviced (emptied) SSDs need
+					// reloading; the rest are already full.
+					for _, d := range c.Array.Devices {
+						if free := d.Free(); free > 0 {
+							if _, err := d.Write(free); err != nil {
+								done(fmt.Errorf("dhlsys: reload cart %d: %w", c.ID, err))
+								return
+							}
+						}
+					}
+				}
+				if s.opt.Wear != nil {
+					due, err := s.opt.Wear.RecordDock(c.ID)
+					if err != nil {
+						done(err)
+						return
+					}
+					if due {
+						// Preventive connector replacement at the library:
+						// the cart stays busy for the service downtime.
+						cost, downtime, err := s.opt.Wear.Service(c.ID)
+						if err != nil {
+							done(err)
+							return
+						}
+						s.stats.ConnectorServices++
+						s.stats.MaintenanceTime += downtime
+						s.stats.MaintenanceCost += cost
+						c.Busy = true
+						s.Engine.MustAfter(downtime, "connector-service", func() {
+							c.Busy = false
+							s.retryWaiting()
+							done(nil)
+						})
+						return
+					}
+				}
+				s.retryWaiting()
+				done(nil)
+			})
+		})
+	})
+}
+
+// Read reads n bytes from a docked cart (§III-D command 3). done receives
+// the transfer duration. Reads of carts whose array lost redundancy in
+// flight report the error, per the paper's failure model.
+func (s *System) Read(id track.CartID, n units.Bytes, done func(units.Seconds, error)) {
+	s.transferOp(id, n, done, func(c *Cart) (units.Seconds, error) { return c.Array.Read(n) }, &s.stats.BytesRead)
+}
+
+// Write writes n bytes to a docked cart (§III-D command 4).
+func (s *System) Write(id track.CartID, n units.Bytes, done func(units.Seconds, error)) {
+	s.transferOp(id, n, done, func(c *Cart) (units.Seconds, error) { return c.Array.Write(n) }, &s.stats.BytesWritten)
+}
+
+func (s *System) transferOp(id track.CartID, n units.Bytes, done func(units.Seconds, error),
+	op func(*Cart) (units.Seconds, error), counter *units.Bytes) {
+	c, ok := s.carts[id]
+	if !ok {
+		s.stats.Denied++
+		done(0, fmt.Errorf("%w: %d", ErrUnknownCart, id))
+		return
+	}
+	if c.Busy {
+		s.stats.Denied++
+		done(0, fmt.Errorf("%w: cart %d", ErrCartBusy, id))
+		return
+	}
+	if c.Loc != AtDock || !s.dock.Docked(id) {
+		s.stats.Denied++
+		done(0, fmt.Errorf("%w: cart %d at %v", ErrNotDocked, id, c.Loc))
+		return
+	}
+	if !c.Array.Healthy() {
+		s.stats.Denied++
+		done(0, fmt.Errorf("%w: cart %d", ErrCartFailed, id))
+		return
+	}
+	d, err := op(c)
+	if err != nil {
+		s.stats.Denied++
+		done(0, err)
+		return
+	}
+	c.Busy = true
+	*counter += n
+	s.Engine.MustAfter(d, "io", func() {
+		c.Busy = false
+		done(d, nil)
+	})
+}
+
+// Run drains the event queue (bounded) and returns the simulated end time.
+func (s *System) Run() (units.Seconds, error) {
+	if _, err := s.Engine.Run(50_000_000); err != nil {
+		return s.Engine.Now(), err
+	}
+	return s.Engine.Now(), nil
+}

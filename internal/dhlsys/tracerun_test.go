@@ -1,0 +1,107 @@
+package dhlsys
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func TestReplayTraceValidation(t *testing.T) {
+	s := mustSystem(t, DefaultOptions())
+	if _, err := s.ReplayTrace(nil, false); err == nil {
+		t.Error("empty trace must error")
+	}
+	bad := workload.Trace{{At: 5, Size: units.GB}, {At: 0, Size: units.GB}}
+	if _, err := s.ReplayTrace(bad, false); err == nil {
+		t.Error("unordered trace must error")
+	}
+}
+
+func TestReplayTraceIdleSystem(t *testing.T) {
+	// Widely spaced arrivals: no queueing, waits are zero, utilisation low.
+	s := mustSystem(t, DefaultOptions())
+	tr := workload.Trace{
+		{At: 0, Size: 512 * units.TB, Label: "a"},
+		{At: 10000, Size: 512 * units.TB, Label: "b"},
+	}
+	res, err := s.ReplayTrace(tr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 2 {
+		t.Fatalf("entries = %d", len(res.Entries))
+	}
+	if res.TotalWait != 0 {
+		t.Errorf("wait = %v, want 0", res.TotalWait)
+	}
+	if res.Entries[1].Start != 10000 {
+		t.Errorf("second start = %v", res.Entries[1].Start)
+	}
+	if res.Utilisation <= 0 || res.Utilisation > 0.05 {
+		t.Errorf("utilisation = %v, want small", res.Utilisation)
+	}
+	for _, e := range res.Entries {
+		if e.Deliveries != 2 {
+			t.Errorf("%s deliveries = %d, want 2", e.Label, e.Deliveries)
+		}
+		if e.Done != e.Start+e.Duration {
+			t.Error("done must be start+duration")
+		}
+	}
+}
+
+func TestReplayTraceBackToBackQueues(t *testing.T) {
+	// Burst arrivals: later transfers wait for earlier ones.
+	s := mustSystem(t, DefaultOptions())
+	tr := workload.Trace{
+		{At: 0, Size: 10 * 256 * units.TB, Label: "x"},
+		{At: 1, Size: 10 * 256 * units.TB, Label: "y"},
+		{At: 2, Size: 10 * 256 * units.TB, Label: "z"},
+	}
+	res, err := s.ReplayTrace(tr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWait <= 0 {
+		t.Error("burst arrivals must queue")
+	}
+	if res.Entries[1].Start < res.Entries[0].Done {
+		t.Error("second transfer started before first finished")
+	}
+	if res.Entries[2].Wait <= res.Entries[1].Wait {
+		t.Error("waits must grow down a backlog")
+	}
+	// Utilisation approaches 1 under backlog.
+	if res.Utilisation < 0.95 {
+		t.Errorf("utilisation = %v, want ≈1 under backlog", res.Utilisation)
+	}
+	// Energy adds up.
+	var sum units.Joules
+	for _, e := range res.Entries {
+		sum += e.Energy
+	}
+	if math.Abs(float64(sum-res.TotalEnergy)) > 1e-9 {
+		t.Error("energy sum mismatch")
+	}
+}
+
+func TestReplayPhysicsBurstTraceKeepsUp(t *testing.T) {
+	// §II-D.1: 300 TB bursts every 10 minutes are easy work for a default
+	// DHL — no queueing.
+	trace, err := workload.DefaultPhysicsBurst().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.NumCarts = 2
+	s := mustSystem(t, opt)
+	res, err := s.ReplayTrace(trace, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWait != 0 {
+		t.Errorf("physics bursts should never queue on a DHL: wait = %v", res.TotalWait)
+	}
+}

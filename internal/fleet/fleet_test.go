@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/track"
+)
+
+func newFleet(t *testing.T, c Connector) *Fleet {
+	t.Helper()
+	f, err := New(c, DefaultPolicy(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Connector{Name: "bad"}, DefaultPolicy(), 4); err == nil {
+		t.Error("unrated connector must be rejected")
+	}
+	if _, err := New(USBC, Policy{ServiceFraction: 0}, 4); err == nil {
+		t.Error("zero service fraction must be rejected")
+	}
+	if _, err := New(USBC, Policy{ServiceFraction: 1.5}, 4); err == nil {
+		t.Error("service fraction > 1 must be rejected")
+	}
+	if _, err := New(USBC, DefaultPolicy(), 0); err == nil {
+		t.Error("empty fleet must be rejected")
+	}
+}
+
+func TestWearAccumulatesToService(t *testing.T) {
+	f := newFleet(t, M2Edge) // 300 cycles, service at 240
+	for i := 1; i < 240; i++ {
+		due, err := f.RecordDock(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if due {
+			t.Fatalf("due at cycle %d, threshold is 240", i)
+		}
+	}
+	due, err := f.RecordDock(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !due {
+		t.Fatal("cycle 240 must trigger service")
+	}
+	c, _ := f.Cycles(0)
+	if c != 240 {
+		t.Errorf("cycles = %d", c)
+	}
+	cost, down, err := f.Service(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != M2Edge.ReplaceCost || down != M2Edge.ReplaceTime {
+		t.Errorf("service = %v, %v", cost, down)
+	}
+	if c, _ := f.Cycles(0); c != 0 {
+		t.Errorf("cycles after service = %d", c)
+	}
+	if f.Replacements(0) != 1 {
+		t.Errorf("replacements = %d", f.Replacements(0))
+	}
+	// Other carts are untouched.
+	if c, _ := f.Cycles(1); c != 0 {
+		t.Errorf("cart 1 cycles = %d", c)
+	}
+}
+
+func TestUnknownCartErrors(t *testing.T) {
+	f := newFleet(t, USBC)
+	if _, err := f.RecordDock(99); !errors.Is(err, ErrUnknownCart) {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := f.Service(99); !errors.Is(err, ErrUnknownCart) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := f.Cycles(99); !errors.Is(err, ErrUnknownCart) {
+		t.Errorf("err = %v", err)
+	}
+	ids := f.CartIDs()
+	if len(ids) != 4 || ids[0] != 0 || ids[3] != 3 {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestConnectorChoiceDominatesServiceInterval(t *testing.T) {
+	// §VI: USB-C's 10k cycles vs M.2's 100s. At the bulk-transfer duty
+	// cycle of the 29 PB job (227 one-way trips ≈ 454 docks per campaign),
+	// an M.2-edge fleet needs servicing mid-campaign; USB-C runs for weeks.
+	usb := newFleet(t, USBC)
+	m2 := newFleet(t, M2Edge)
+	const docksPerDay = 454 // one 29 PB campaign per day per cart
+	pu, err := usb.Project(docksPerDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := m2.Project(docksPerDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.DaysBetweenService >= 1 {
+		t.Errorf("M.2 service interval = %v days, should not survive a daily campaign", pm.DaysBetweenService)
+	}
+	if pu.DaysBetweenService < 15 {
+		t.Errorf("USB-C service interval = %v days, want ≥ 15", pu.DaysBetweenService)
+	}
+	ratio := pu.DaysBetweenService / pm.DaysBetweenService
+	if math.Abs(ratio-float64(USBC.RatedCycles)/float64(M2Edge.RatedCycles)) > 1e-9 {
+		t.Errorf("interval ratio = %v, want rated-cycle ratio", ratio)
+	}
+	// Availability: both near 1, USB-C strictly better.
+	if pu.Availability <= pm.Availability {
+		t.Error("USB-C availability must beat M.2")
+	}
+	if pu.Availability < 0.998 {
+		t.Errorf("USB-C availability = %v, want ≥ 0.998", pu.Availability)
+	}
+	if pm.AnnualCost <= pu.AnnualCost {
+		t.Error("M.2 annual maintenance must cost more at this duty cycle")
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	f := newFleet(t, USBC)
+	if _, err := f.Project(0); err == nil {
+		t.Error("zero rate must error")
+	}
+}
+
+func TestFleetIntegrationWithDeviceWear(t *testing.T) {
+	// The storage layer's per-device plug counter and the fleet tracker
+	// agree on when the M.2 rating is exceeded.
+	f := newFleet(t, M2Edge)
+	due := false
+	for i := 0; i < 300 && !due; i++ {
+		var err error
+		due, err = f.RecordDock(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !due {
+		t.Fatal("service must come due within the rated life")
+	}
+	c, _ := f.Cycles(2)
+	if c > M2Edge.RatedCycles {
+		t.Errorf("policy let wear (%d) exceed the rating (%d)", c, M2Edge.RatedCycles)
+	}
+	_ = track.CartID(2)
+}

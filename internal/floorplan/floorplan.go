@@ -1,0 +1,145 @@
+// Package floorplan models the data-centre geometry of Figure 1 and §III-C:
+// a grid of aisles and racks over a false floor, a cart library in a
+// cold-storage hall, and DHL tracks routed beneath the floor from the
+// library to rack endpoints. It turns a physical floor plan into the track
+// lengths the analytical model consumes — grounding the paper's 100/500/
+// 1000 m evaluation points ("many data centres are already hundreds of
+// metres long").
+package floorplan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Plan is a rectangular data-centre floor plan.
+type Plan struct {
+	// Aisles and RacksPerAisle define the grid.
+	Aisles, RacksPerAisle int
+	// RackPitch is the spacing between adjacent racks along an aisle.
+	RackPitch units.Metres
+	// AislePitch is the spacing between adjacent aisles.
+	AislePitch units.Metres
+	// LibraryRun is the under-floor distance from the cart library (in its
+	// cold-storage hall) to the near corner of the server floor.
+	LibraryRun units.Metres
+}
+
+// DefaultPlan is a hyperscale hall: 16 aisles of 150 racks at 0.7 m pitch
+// (105 m aisles), 3 m aisle pitch, with the library 350 m away — the far
+// corner lands near the paper's default 500 m track.
+func DefaultPlan() Plan {
+	return Plan{
+		Aisles:        16,
+		RacksPerAisle: 150,
+		RackPitch:     0.7,
+		AislePitch:    3,
+		LibraryRun:    350,
+	}
+}
+
+// Validate checks the plan.
+func (p Plan) Validate() error {
+	if p.Aisles < 1 || p.RacksPerAisle < 1 {
+		return errors.New("floorplan: need at least one aisle and rack")
+	}
+	if p.RackPitch <= 0 || p.AislePitch <= 0 || p.LibraryRun < 0 {
+		return errors.New("floorplan: pitches must be positive and library run non-negative")
+	}
+	return nil
+}
+
+// AisleLength is the run of one aisle.
+func (p Plan) AisleLength() units.Metres {
+	return units.Metres(float64(p.RacksPerAisle) * float64(p.RackPitch))
+}
+
+// FloorSpan is the across-aisles width of the server floor.
+func (p Plan) FloorSpan() units.Metres {
+	return units.Metres(float64(p.Aisles) * float64(p.AislePitch))
+}
+
+// Contains reports whether the rack coordinate exists.
+func (p Plan) Contains(aisle, rack int) bool {
+	return aisle >= 0 && aisle < p.Aisles && rack >= 0 && rack < p.RacksPerAisle
+}
+
+// ErrNoRack is returned for coordinates outside the plan.
+var ErrNoRack = errors.New("floorplan: no such rack")
+
+// TrackLengthTo is the under-floor (Manhattan) track length from the
+// library to the given rack: the library run, then across the aisles, then
+// along the aisle.
+func (p Plan) TrackLengthTo(aisle, rack int) (units.Metres, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if !p.Contains(aisle, rack) {
+		return 0, fmt.Errorf("%w: aisle %d rack %d", ErrNoRack, aisle, rack)
+	}
+	across := float64(aisle) * float64(p.AislePitch)
+	along := float64(rack) * float64(p.RackPitch)
+	return p.LibraryRun + units.Metres(across+along), nil
+}
+
+// LongestRun is the track length to the farthest rack.
+func (p Plan) LongestRun() (units.Metres, error) {
+	return p.TrackLengthTo(p.Aisles-1, p.RacksPerAisle-1)
+}
+
+// ConfigFor builds a DHL configuration for a track from the library to the
+// rack, clamping the length up to the configuration's minimum realisable
+// track (twice the LIM ramp) when the rack is very close.
+func (p Plan) ConfigFor(base core.Config, aisle, rack int) (core.Config, error) {
+	l, err := p.TrackLengthTo(aisle, rack)
+	if err != nil {
+		return core.Config{}, err
+	}
+	min := core.MinimumTrackLength(base)
+	if l < min {
+		l = min
+	}
+	cfg := base
+	cfg.Length = l
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	return cfg, nil
+}
+
+// SupercomputerRun is the paper's primary deployment (§III-C): "a straight
+// DHL connecting an ML supercomputer (spanning one aisle) and the cart
+// library" — the track to the far end of the given aisle.
+func (p Plan) SupercomputerRun(aisle int) (units.Metres, error) {
+	return p.TrackLengthTo(aisle, p.RacksPerAisle-1)
+}
+
+// FalseFloorArea is the floor area the DHL network occupies if every aisle
+// gets a spur (track width ~0.3 m) — a sanity check that the under-floor
+// plant is small.
+func (p Plan) FalseFloorArea() float64 {
+	const trackWidth = 0.3
+	spine := float64(p.LibraryRun) + float64(p.FloorSpan())
+	spurs := float64(p.Aisles) * float64(p.AisleLength())
+	return trackWidth * (spine + spurs)
+}
+
+// RoundTo rounds a track length to the paper's evaluated grid
+// (100/500/1000 m), choosing the nearest in log space.
+func RoundTo(l units.Metres) units.Metres {
+	grid := []float64{100, 500, 1000}
+	best := grid[0]
+	bestD := math.Inf(1)
+	for _, g := range grid {
+		d := math.Abs(math.Log(float64(l) / g))
+		if d < bestD {
+			bestD = d
+			best = g
+		}
+	}
+	return units.Metres(best)
+}

@@ -1,0 +1,149 @@
+package floorplan
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultPlan().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultPlan()
+	bad.Aisles = 0
+	if bad.Validate() == nil {
+		t.Error("zero aisles must be invalid")
+	}
+	bad = DefaultPlan()
+	bad.RackPitch = 0
+	if bad.Validate() == nil {
+		t.Error("zero pitch must be invalid")
+	}
+	bad = DefaultPlan()
+	bad.LibraryRun = -1
+	if bad.Validate() == nil {
+		t.Error("negative library run must be invalid")
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	p := DefaultPlan()
+	if got := float64(p.AisleLength()); got != 105 {
+		t.Errorf("aisle length = %v, want 105", got)
+	}
+	if got := float64(p.FloorSpan()); got != 48 {
+		t.Errorf("floor span = %v, want 48", got)
+	}
+	// Near corner: just the library run.
+	l, err := p.TrackLengthTo(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(l) != 350 {
+		t.Errorf("near corner = %v, want 350", l)
+	}
+	// Far corner approaches the paper's default 500 m.
+	far, err := p.LongestRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(far) < 480 || float64(far) > 520 {
+		t.Errorf("longest run = %v, want ≈500 (the paper's default)", far)
+	}
+	// §III-C supercomputer deployment spans one aisle.
+	sc, err := p.SupercomputerRun(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(sc) != 350+104.3 {
+		t.Errorf("supercomputer run = %v", sc)
+	}
+}
+
+func TestTrackLengthErrors(t *testing.T) {
+	p := DefaultPlan()
+	if _, err := p.TrackLengthTo(99, 0); !errors.Is(err, ErrNoRack) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := p.TrackLengthTo(0, -1); !errors.Is(err, ErrNoRack) {
+		t.Errorf("err = %v", err)
+	}
+	bad := Plan{}
+	if _, err := bad.TrackLengthTo(0, 0); err == nil {
+		t.Error("invalid plan must error")
+	}
+}
+
+func TestTrackLengthMonotoneProperty(t *testing.T) {
+	p := DefaultPlan()
+	f := func(a, r uint8) bool {
+		aisle := int(a) % (p.Aisles - 1)
+		rack := int(r) % (p.RacksPerAisle - 1)
+		l1, err1 := p.TrackLengthTo(aisle, rack)
+		l2, err2 := p.TrackLengthTo(aisle+1, rack)
+		l3, err3 := p.TrackLengthTo(aisle, rack+1)
+		return err1 == nil && err2 == nil && err3 == nil && l2 > l1 && l3 > l1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigFor(t *testing.T) {
+	p := DefaultPlan()
+	cfg, err := p.ConfigFor(core.DefaultConfig(), 15, 149)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(cfg.Length) < 480 {
+		t.Errorf("config length = %v", cfg.Length)
+	}
+	l, err := core.Launch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Time <= 0 {
+		t.Error("launch must be realisable")
+	}
+	// A rack closer than the LIM ramps clamps up to the minimum track.
+	near := DefaultPlan()
+	near.LibraryRun = 0
+	cfg2, err := near.ConfigFor(core.DefaultConfig(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Length != core.MinimumTrackLength(core.DefaultConfig()) {
+		t.Errorf("clamped length = %v, want %v", cfg2.Length, core.MinimumTrackLength(core.DefaultConfig()))
+	}
+	if _, err := p.ConfigFor(core.DefaultConfig(), 99, 0); err == nil {
+		t.Error("bad rack must error")
+	}
+}
+
+func TestFalseFloorAreaSmall(t *testing.T) {
+	// The whole under-floor DHL plant (spine + a spur per aisle) occupies a
+	// tiny fraction of the server floor.
+	p := DefaultPlan()
+	floor := float64(p.AisleLength()) * float64(p.FloorSpan())
+	if area := p.FalseFloorArea(); area > 0.2*floor {
+		t.Errorf("track area %v m² exceeds 20%% of the %v m² floor", area, floor)
+	}
+}
+
+func TestRoundTo(t *testing.T) {
+	// Log-space midpoints: √(100·500) ≈ 223.6 and √(500·1000) ≈ 707.1.
+	cases := map[float64]float64{
+		90: 100, 120: 100, 220: 100, 230: 500, 499: 500, 600: 500, 720: 1000, 2000: 1000,
+	}
+	for in, want := range cases {
+		if got := RoundTo(units.Metres(in)); float64(got) != want {
+			t.Errorf("RoundTo(%v) = %v, want %v", in, got, want)
+		}
+	}
+	_ = math.Pi
+}

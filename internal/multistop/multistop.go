@@ -1,0 +1,280 @@
+// Package multistop implements the §VI "Multi-stops" track design: a DHL
+// with more than two endpoints, carts stopping at any station, and
+// management of concurrent movements on the shared rail. The paper notes
+// the primary design "is designed to extend to this use case without
+// significant modifications" and that multi-stop operation "would motivate
+// higher speeds to ameliorate potential contention from different users" —
+// a claim the simulation here makes measurable.
+//
+// Movement rules:
+//
+//   - A move from stop A to stop B reserves the rail span [A, B] (stops
+//     inclusive — a cart mid-dock blocks through traffic at its stop).
+//   - Moves whose spans do not overlap proceed concurrently on the single
+//     rail; conflicting moves queue FIFO.
+//   - Short hops that cannot reach full speed follow a triangular velocity
+//     profile; long hops follow the usual trapezoid.
+package multistop
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/track"
+	"repro/internal/units"
+)
+
+// Stop is one station on the line.
+type Stop struct {
+	Name     string
+	Position units.Metres
+}
+
+// Line is a multi-stop DHL.
+type Line struct {
+	Engine *sim.Engine
+
+	cfg   core.Config
+	stops []Stop
+	// cartAt maps cart → stop index; carts in transit are absent.
+	cartAt map[track.CartID]int
+	busy   map[track.CartID]bool
+	// active spans: [lo, hi] stop-index ranges currently reserved.
+	active  []span
+	waiting []func() bool
+	stats   Stats
+}
+
+type span struct{ lo, hi int }
+
+func (s span) overlaps(o span) bool { return s.lo <= o.hi && o.lo <= s.hi }
+
+// Stats accumulates line-wide accounting.
+type Stats struct {
+	Moves  int
+	Energy units.Joules
+	// QueuedMoves had to wait for a conflicting span to clear.
+	QueuedMoves int
+	// TotalWait is the cumulative time moves spent queued.
+	TotalWait units.Seconds
+}
+
+// Errors returned by the line.
+var (
+	ErrUnknownStop = errors.New("multistop: unknown stop")
+	ErrUnknownCart = errors.New("multistop: unknown cart")
+	ErrCartBusy    = errors.New("multistop: cart is moving")
+	ErrSameStop    = errors.New("multistop: origin equals destination")
+)
+
+// New builds a line from a DHL configuration and a set of stops. Stops are
+// sorted by position; at least two are required and positions must be
+// distinct. Carts are placed via Place before moves are issued.
+func New(cfg core.Config, stops []Stop) (*Line, error) {
+	// Validate everything except track length (the core config's Length is
+	// irrelevant here — hops define their own distances).
+	if cfg.Cart == nil {
+		return nil, core.ErrNoCart
+	}
+	if cfg.MaxSpeed <= 0 || cfg.Acceleration <= 0 {
+		return nil, errors.New("multistop: speed and acceleration must be positive")
+	}
+	if cfg.DockTime < 0 || cfg.UndockTime < 0 {
+		return nil, errors.New("multistop: docking times must be non-negative")
+	}
+	if cfg.LIM.Efficiency <= 0 || cfg.LIM.Efficiency > 1 {
+		return nil, errors.New("multistop: LIM efficiency must be in (0,1]")
+	}
+	if len(stops) < 2 {
+		return nil, errors.New("multistop: need at least two stops")
+	}
+	ss := make([]Stop, len(stops))
+	copy(ss, stops)
+	sort.Slice(ss, func(i, j int) bool { return ss[i].Position < ss[j].Position })
+	for i := 1; i < len(ss); i++ {
+		if ss[i].Position == ss[i-1].Position {
+			return nil, fmt.Errorf("multistop: stops %q and %q share position %v",
+				ss[i-1].Name, ss[i].Name, ss[i].Position)
+		}
+	}
+	return &Line{
+		Engine: sim.New(),
+		cfg:    cfg,
+		stops:  ss,
+		cartAt: make(map[track.CartID]int),
+		busy:   make(map[track.CartID]bool),
+	}, nil
+}
+
+// Stops returns the line's stops in position order.
+func (l *Line) Stops() []Stop { return append([]Stop(nil), l.stops...) }
+
+// StopIndex resolves a stop name.
+func (l *Line) StopIndex(name string) (int, error) {
+	for i, s := range l.stops {
+		if s.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownStop, name)
+}
+
+// Place puts a cart at a stop (initial fleet placement).
+func (l *Line) Place(id track.CartID, stop int) error {
+	if stop < 0 || stop >= len(l.stops) {
+		return fmt.Errorf("%w: index %d", ErrUnknownStop, stop)
+	}
+	if _, ok := l.cartAt[id]; ok {
+		return fmt.Errorf("multistop: cart %d already placed", id)
+	}
+	l.cartAt[id] = stop
+	return nil
+}
+
+// CartAt returns the stop a cart is docked at, or false if in transit or
+// unknown.
+func (l *Line) CartAt(id track.CartID) (int, bool) {
+	s, ok := l.cartAt[id]
+	return s, ok
+}
+
+// Stats returns a snapshot.
+func (l *Line) Stats() Stats { return l.stats }
+
+// Hop describes one inter-stop movement's physics.
+type Hop struct {
+	Distance units.Metres
+	// PeakSpeed reached (maxSpeed, or lower on a triangular short hop).
+	PeakSpeed units.MetresPerSecond
+	// TransitTime on the rail (no docking).
+	TransitTime units.Seconds
+	// MoveTime including undock and dock.
+	MoveTime units.Seconds
+	// Energy of the accelerate/brake pair.
+	Energy units.Joules
+	// Triangular marks a hop too short to reach full speed.
+	Triangular bool
+}
+
+// HopBetween computes the movement physics between two stop indices.
+func (l *Line) HopBetween(from, to int) (Hop, error) {
+	if from < 0 || from >= len(l.stops) || to < 0 || to >= len(l.stops) {
+		return Hop{}, fmt.Errorf("%w: %d→%d", ErrUnknownStop, from, to)
+	}
+	if from == to {
+		return Hop{}, ErrSameStop
+	}
+	d := math.Abs(float64(l.stops[to].Position - l.stops[from].Position))
+	a := float64(l.cfg.Acceleration)
+	vmax := float64(l.cfg.MaxSpeed)
+	ramps := vmax * vmax / a // 2 × v²/2a
+	h := Hop{Distance: units.Metres(d)}
+	if d < ramps {
+		// Triangular: accelerate over d/2, brake over d/2.
+		peak := math.Sqrt(a * d)
+		h.PeakSpeed = units.MetresPerSecond(peak)
+		h.TransitTime = units.Seconds(2 * math.Sqrt(d/a))
+		h.Triangular = true
+	} else {
+		h.PeakSpeed = l.cfg.MaxSpeed
+		// Paper ramp accounting, consistent with internal/core.
+		h.TransitTime = units.Seconds(d/vmax + vmax/(2*a))
+	}
+	h.MoveTime = l.cfg.UndockTime + h.TransitTime + l.cfg.DockTime
+	h.Energy = l.cfg.LIM.LaunchEnergy(l.cfg.Cart.TotalMass, h.PeakSpeed)
+	return h, nil
+}
+
+// Move schedules cart id from its current stop to stop index `to`. done is
+// called on completion (or immediately with a validation error). Moves with
+// conflicting rail spans queue FIFO.
+func (l *Line) Move(id track.CartID, to int, done func(error)) {
+	from, ok := l.cartAt[id]
+	if !ok {
+		if l.busy[id] {
+			done(fmt.Errorf("%w: %d", ErrCartBusy, id))
+			return
+		}
+		done(fmt.Errorf("%w: %d", ErrUnknownCart, id))
+		return
+	}
+	hop, err := l.HopBetween(from, to)
+	if err != nil {
+		done(err)
+		return
+	}
+	sp := span{lo: min(from, to), hi: max(from, to)}
+	requested := l.Engine.Now()
+	tryStart := func() bool {
+		for _, a := range l.active {
+			if sp.overlaps(a) {
+				return false
+			}
+		}
+		l.active = append(l.active, sp)
+		delete(l.cartAt, id)
+		l.busy[id] = true
+		wait := l.Engine.Now() - requested
+		l.stats.TotalWait += wait
+		l.Engine.MustAfter(hop.MoveTime, "move", func() {
+			l.release(sp)
+			l.cartAt[id] = to
+			l.busy[id] = false
+			l.stats.Moves++
+			l.stats.Energy += hop.Energy
+			l.retryWaiting()
+			done(nil)
+		})
+		return true
+	}
+	if tryStart() {
+		return
+	}
+	l.stats.QueuedMoves++
+	l.waiting = append(l.waiting, tryStart)
+}
+
+func (l *Line) release(sp span) {
+	for i, a := range l.active {
+		if a == sp {
+			l.active = append(l.active[:i], l.active[i+1:]...)
+			return
+		}
+	}
+}
+
+func (l *Line) retryWaiting() {
+	remaining := l.waiting[:0]
+	for _, try := range l.waiting {
+		if !try() {
+			remaining = append(remaining, try)
+		}
+	}
+	l.waiting = remaining
+}
+
+// Run drains the event queue and returns the end time.
+func (l *Line) Run() (units.Seconds, error) {
+	if _, err := l.Engine.Run(10_000_000); err != nil {
+		return l.Engine.Now(), err
+	}
+	return l.Engine.Now(), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,31 @@
+package netmodel_test
+
+import (
+	"fmt"
+
+	"repro/internal/netmodel"
+	"repro/internal/units"
+)
+
+// ExampleScenario_Power reproduces the §II-C route energies for 29 PB.
+func ExampleScenario_Power() {
+	for _, s := range netmodel.Scenarios() {
+		p := s.Power()
+		fmt.Printf("%-2s %6.2f W %7.2f MJ\n", s, float64(p.Total()),
+			p.Energy(29*units.PB).MJ())
+	}
+	// Output:
+	// A0  24.00 W   13.92 MJ
+	// A1  39.60 W   22.97 MJ
+	// A2  86.29 W   50.05 MJ
+	// B  301.29 W  174.75 MJ
+	// C  516.29 W  299.45 MJ
+}
+
+// ExampleTransferTime shows the paper's week-long 29 PB baseline.
+func ExampleTransferTime() {
+	t := netmodel.TransferTime(29 * units.PB)
+	fmt.Printf("%.0f s (%.2f days)\n", float64(t), t.Days())
+	// Output:
+	// 580000 s (6.71 days)
+}

@@ -1,0 +1,103 @@
+package netmodel
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestProportionalModelValidate(t *testing.T) {
+	if (ProportionalModel{IdleFraction: -0.1}).Validate() == nil {
+		t.Error("negative idle fraction must be invalid")
+	}
+	if (ProportionalModel{IdleFraction: 1.1}).Validate() == nil {
+		t.Error("idle fraction > 1 must be invalid")
+	}
+	if TodayProportional.Validate() != nil || IdealProportional.Validate() != nil {
+		t.Error("catalogue models must validate")
+	}
+}
+
+func TestProportionalPower(t *testing.T) {
+	full := ScenarioC.Power().Total()
+	// At full utilisation every model draws full power.
+	for _, m := range []ProportionalModel{TodayProportional, IdealProportional} {
+		p, err := m.Power(ScenarioC, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != full {
+			t.Errorf("full-util power = %v, want %v", p, full)
+		}
+	}
+	// Idle: today's gear burns 90 %, ideal burns nothing.
+	p, err := TodayProportional.Power(ScenarioC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "today idle", float64(p), 0.9*float64(full), 1e-9)
+	p, err = IdealProportional.Power(ScenarioC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("ideal idle = %v", p)
+	}
+	// Half utilisation interpolates linearly.
+	p, err = IdealProportional.Power(ScenarioC, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "ideal half", float64(p), 0.5*float64(full), 1e-9)
+	if _, err := IdealProportional.Power(ScenarioC, 1.5); err == nil {
+		t.Error("utilisation > 1 must error")
+	}
+	if _, err := (ProportionalModel{IdleFraction: 2}).Power(ScenarioC, 0.5); err == nil {
+		t.Error("invalid model must error")
+	}
+}
+
+func TestOffloadSavings(t *testing.T) {
+	// Meta's 4 PB/day of new data (Table I) over route C: 80 000 s busy.
+	sv, err := OffloadSavings(ScenarioC, 4*units.PB, TodayProportional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(sv.TransferTime) != 80000 {
+		t.Errorf("transfer time = %v, want 80000 s", sv.TransferTime)
+	}
+	if sv.BusyEnergy <= 0 || sv.IdleEnergy <= 0 {
+		t.Error("energies must be positive")
+	}
+	// Conventional gear: the idle 6400 s still burn 90 % power.
+	approx(t, "idle energy", float64(sv.IdleEnergy), 0.9*516.2875*6400, 0.001)
+	approx(t, "busy energy", float64(sv.BusyEnergy), 516.2875*80000, 0.001)
+	if sv.Saved != sv.BusyEnergy+sv.IdleEnergy {
+		t.Error("saved must equal the whole day's energy")
+	}
+	// With ideal proportionality the idle penalty vanishes, so offloading
+	// saves strictly less.
+	ideal, err := OffloadSavings(ScenarioC, 4*units.PB, IdealProportional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal.Saved >= sv.Saved {
+		t.Error("ideal proportionality must shrink the offload savings")
+	}
+	if ideal.IdleEnergy != 0 {
+		t.Errorf("ideal idle energy = %v", ideal.IdleEnergy)
+	}
+}
+
+func TestOffloadSavingsErrors(t *testing.T) {
+	if _, err := OffloadSavings(ScenarioC, 0, TodayProportional); err == nil {
+		t.Error("zero volume must error")
+	}
+	// 29 PB takes 6.7 days on one link: does not fit in a day.
+	if _, err := OffloadSavings(ScenarioC, 29*units.PB, TodayProportional); err == nil {
+		t.Error("over-capacity volume must error")
+	}
+	if _, err := OffloadSavings(ScenarioC, units.PB, ProportionalModel{IdleFraction: 5}); err == nil {
+		t.Error("invalid model must error")
+	}
+}

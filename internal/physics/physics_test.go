@@ -1,0 +1,372 @@
+package physics
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Max(math.Abs(want), 1e-12) {
+		t.Errorf("%s = %v, want %v (±%v%%)", name, got, want, tol*100)
+	}
+}
+
+func mustProfile(t *testing.T, L, v, a float64) Profile {
+	t.Helper()
+	p, err := NewProfile(units.Metres(L), units.MetresPerSecond(v), units.MetresPerSecond2(a))
+	if err != nil {
+		t.Fatalf("NewProfile(%v,%v,%v): %v", L, v, a, err)
+	}
+	return p
+}
+
+func TestProfileValidation(t *testing.T) {
+	cases := []struct {
+		L, v, a float64
+		wantErr error
+	}{
+		{500, 0, 1000, ErrNonPositiveSpeed},
+		{500, -10, 1000, ErrNonPositiveSpeed},
+		{500, 200, 0, ErrNonPositiveAcceleration},
+		{0, 200, 1000, ErrNonPositiveLength},
+		{-5, 200, 1000, ErrNonPositiveLength},
+		// 300 m/s needs 2×45 m of ramp; an 80 m track is too short.
+		{80, 300, 1000, ErrTrackTooShort},
+		{500, 200, 1000, nil},
+		// Exactly ramp-limited track is allowed (pure triangle profile).
+		{40, 200, 1000, nil},
+	}
+	for _, c := range cases {
+		_, err := NewProfile(units.Metres(c.L), units.MetresPerSecond(c.v), units.MetresPerSecond2(c.a))
+		if !errors.Is(err, c.wantErr) {
+			t.Errorf("NewProfile(%v,%v,%v) err = %v, want %v", c.L, c.v, c.a, err, c.wantErr)
+		}
+	}
+}
+
+func TestRampDistancesMatchPaperLIMLengths(t *testing.T) {
+	// Table V: LIM lengths 5, 20, 45 m for max speeds 100, 200, 300 m/s.
+	for _, c := range []struct{ v, want float64 }{{100, 5}, {200, 20}, {300, 45}} {
+		p := mustProfile(t, 500, c.v, 1000)
+		approx(t, "ramp", float64(p.RampDistance()), c.want, 1e-12)
+	}
+}
+
+func TestTransitTimePaperVsExact(t *testing.T) {
+	p := mustProfile(t, 500, 200, 1000)
+	// Paper model: 500/200 + 200/2000 = 2.6 s.
+	approx(t, "paper transit", float64(p.TransitTime(TimeModelPaper)), 2.6, 1e-12)
+	// Exact model: 500/200 + 200/1000 = 2.7 s.
+	approx(t, "exact transit", float64(p.TransitTime(TimeModelExact)), 2.7, 1e-12)
+	if p.TransitTime(TimeModelExact) <= p.TransitTime(TimeModelPaper) {
+		t.Error("exact model must be slower than the paper model")
+	}
+}
+
+func TestProfilePhaseDecomposition(t *testing.T) {
+	p := mustProfile(t, 500, 200, 1000)
+	approx(t, "ramp time", float64(p.RampTime()), 0.2, 1e-12)
+	approx(t, "cruise dist", float64(p.CruiseDistance()), 460, 1e-12)
+	approx(t, "cruise time", float64(p.CruiseTime()), 2.3, 1e-12)
+	// Exact transit equals 2 ramps + cruise.
+	total := 2*float64(p.RampTime()) + float64(p.CruiseTime())
+	approx(t, "sum of phases", total, float64(p.TransitTime(TimeModelExact)), 1e-12)
+}
+
+func TestSpeedAt(t *testing.T) {
+	p := mustProfile(t, 500, 200, 1000)
+	if p.SpeedAt(0) != 0 || p.SpeedAt(500) != 0 {
+		t.Error("speed at endpoints must be 0")
+	}
+	if got := p.SpeedAt(250); got != 200 {
+		t.Errorf("cruise speed = %v, want 200", got)
+	}
+	// Mid-ramp: after 10 m at 1000 m/s², v = sqrt(2·1000·10) ≈ 141.4.
+	approx(t, "mid-ramp speed", float64(p.SpeedAt(10)), math.Sqrt(20000), 1e-12)
+	// Symmetric braking ramp.
+	approx(t, "brake symmetric", float64(p.SpeedAt(490)), float64(p.SpeedAt(10)), 1e-12)
+	if p.SpeedAt(-1) != 0 || p.SpeedAt(501) != 0 {
+		t.Error("speed outside track must be 0")
+	}
+}
+
+func TestPositionAt(t *testing.T) {
+	p := mustProfile(t, 500, 200, 1000)
+	if p.PositionAt(-1) != 0 || p.PositionAt(0) != 0 {
+		t.Error("position at t<=0 must be 0")
+	}
+	// End of accel ramp: 20 m at t = 0.2 s.
+	approx(t, "end of ramp", float64(p.PositionAt(0.2)), 20, 1e-12)
+	// Mid cruise: 20 + 200·1.0.
+	approx(t, "mid cruise", float64(p.PositionAt(1.2)), 220, 1e-12)
+	// Completed.
+	if got := p.PositionAt(10); got != 500 {
+		t.Errorf("final position = %v, want 500", got)
+	}
+	// Position exactly at total exact transit time is L.
+	approx(t, "at arrival", float64(p.PositionAt(p.TransitTime(TimeModelExact))), 500, 1e-9)
+}
+
+func TestPositionMonotonicProperty(t *testing.T) {
+	p := mustProfile(t, 500, 200, 1000)
+	f := func(a, b float64) bool {
+		t1 := math.Abs(math.Mod(a, 3.0))
+		t2 := math.Abs(math.Mod(b, 3.0))
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		return p.PositionAt(units.Seconds(t1)) <= p.PositionAt(units.Seconds(t2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransitTimeMonotonicInLengthProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		l1 := 100 + math.Abs(math.Mod(raw, 900))
+		l2 := l1 + 50
+		p1 := Profile{Length: units.Metres(l1), MaxSpeed: 200, Acceleration: 1000}
+		p2 := Profile{Length: units.Metres(l2), MaxSpeed: 200, Acceleration: 1000}
+		return p1.TransitTime(TimeModelPaper) < p2.TransitTime(TimeModelPaper) &&
+			p1.TransitTime(TimeModelExact) < p2.TransitTime(TimeModelExact)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKineticEnergy(t *testing.T) {
+	// ½ × 0.282 kg × (200 m/s)² = 5640 J.
+	approx(t, "KE", float64(KineticEnergy(282*units.Gram, 200)), 5640, 1e-12)
+	if KineticEnergy(282*units.Gram, 0) != 0 {
+		t.Error("KE at rest must be 0")
+	}
+}
+
+func TestLIMValidation(t *testing.T) {
+	if _, err := NewLIM(0, 0); err == nil {
+		t.Error("efficiency 0 must be rejected")
+	}
+	if _, err := NewLIM(1.5, 0); err == nil {
+		t.Error("efficiency >1 must be rejected")
+	}
+	if _, err := NewLIM(0.75, -0.1); err == nil {
+		t.Error("negative regen must be rejected")
+	}
+	if _, err := NewLIM(0.75, 1.1); err == nil {
+		t.Error("regen >1 must be rejected")
+	}
+	l, err := NewLIM(0.75, 0.7)
+	if err != nil {
+		t.Fatalf("valid LIM rejected: %v", err)
+	}
+	if l.Efficiency != 0.75 || l.RegenEfficiency != 0.7 {
+		t.Errorf("LIM fields = %+v", l)
+	}
+}
+
+func TestLaunchEnergyMatchesTableVI(t *testing.T) {
+	lim := DefaultLIM()
+	// Table VI energy column: (mass g, speed, want kJ within rounding).
+	cases := []struct {
+		mass, v, wantKJ float64
+	}{
+		{282, 100, 3.7},
+		{282, 200, 15},
+		{282, 300, 34},
+		{161, 200, 8.6},
+		{524, 200, 28},
+		{161, 100, 2.1},
+		{524, 100, 7.0},
+		{161, 300, 19},
+		{524, 300, 63},
+	}
+	for _, c := range cases {
+		got := lim.LaunchEnergy(units.Grams(c.mass), units.MetresPerSecond(c.v)).KJ()
+		approx(t, "launch energy", got, c.wantKJ, 0.03)
+	}
+}
+
+func TestLIMRegenReducesBrakingEnergy(t *testing.T) {
+	base := DefaultLIM()
+	regen, _ := NewLIM(0.75, 0.7)
+	m, v := 282*units.Gram, units.MetresPerSecond(200)
+	if regen.BrakingEnergy(m, v) >= base.BrakingEnergy(m, v) {
+		t.Error("regeneration must reduce net braking energy")
+	}
+	if regen.AccelerationEnergy(m, v) != base.AccelerationEnergy(m, v) {
+		t.Error("regeneration must not change acceleration energy")
+	}
+	// Net braking with full regen at η=1 would be 0.
+	perfect, _ := NewLIM(1, 1)
+	if perfect.BrakingEnergy(m, v) != 0 {
+		t.Errorf("perfect regen braking = %v, want 0", perfect.BrakingEnergy(m, v))
+	}
+}
+
+func TestPeakPowerMatchesTableVI(t *testing.T) {
+	lim := DefaultLIM()
+	cases := []struct {
+		mass, v, wantKW float64
+	}{
+		{282, 100, 38},
+		{282, 200, 75},
+		{282, 300, 113},
+		{161, 200, 43},
+		{524, 200, 140},
+		{161, 100, 22},
+		{524, 100, 70},
+		{161, 300, 64},
+		{524, 300, 210},
+	}
+	for _, c := range cases {
+		got := lim.PeakPower(units.Grams(c.mass), 1000, units.MetresPerSecond(c.v)).KW()
+		approx(t, "peak power", got, c.wantKW, 0.03)
+	}
+}
+
+func TestLIMRequiredLength(t *testing.T) {
+	lim := DefaultLIM()
+	for _, c := range []struct{ v, want float64 }{{100, 5}, {200, 20}, {300, 45}} {
+		got := float64(lim.RequiredLength(units.MetresPerSecond(c.v), 1000))
+		approx(t, "LIM length", got, c.want, 1e-12)
+	}
+}
+
+func TestLaunchEnergyScalesQuadraticallyProperty(t *testing.T) {
+	lim := DefaultLIM()
+	f := func(raw float64) bool {
+		v := 10 + math.Abs(math.Mod(raw, 290))
+		e1 := float64(lim.LaunchEnergy(282*units.Gram, units.MetresPerSecond(v)))
+		e2 := float64(lim.LaunchEnergy(282*units.Gram, units.MetresPerSecond(2*v)))
+		return math.Abs(e2-4*e1) < 1e-6*e2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDragModel(t *testing.T) {
+	d := DefaultDrag()
+	// L_d = g·M·x/c1 = 9.80665 × 0.282 × 500 / 10 ≈ 138.3 J.
+	got := float64(d.EnergyLoss(282*units.Gram, 500))
+	approx(t, "drag loss", got, 138.27, 0.001)
+	// With downforce c2 = 2 m/s²: (9.80665+4)·0.282·500/10.
+	d2 := DragModel{LiftToDrag: 10, DownforceAccel: 2}
+	approx(t, "drag with downforce", float64(d2.EnergyLoss(282*units.Gram, 500)), 194.67, 0.001)
+}
+
+func TestDragNegligibleAtPaperOperatingPoints(t *testing.T) {
+	// §IV-A.2: at 200 m/s over 500 or 1000 m the drag loss is negligible
+	// versus the 15 kJ launch energy.
+	d := DefaultDrag()
+	lim := DefaultLIM()
+	if !d.NegligibleVersusLaunch(lim, 282*units.Gram, 200, 500, 0.05) {
+		t.Error("drag should be negligible at 200 m/s / 500 m")
+	}
+	if !d.NegligibleVersusLaunch(lim, 282*units.Gram, 200, 1000, 0.05) {
+		t.Error("drag should be negligible at 200 m/s / 1000 m")
+	}
+	// But it is NOT negligible for a slow cart on a long track.
+	if d.NegligibleVersusLaunch(lim, 282*units.Gram, 10, 1000, 0.05) {
+		t.Error("drag must dominate at 10 m/s over 1 km")
+	}
+}
+
+func TestDragDegenerate(t *testing.T) {
+	d := DragModel{}
+	if !math.IsInf(float64(d.EnergyLoss(282*units.Gram, 500)), 1) {
+		t.Error("zero lift-to-drag must give infinite loss")
+	}
+	if !math.IsInf(d.DragForce(282*units.Gram), 1) {
+		t.Error("zero lift-to-drag must give infinite force")
+	}
+}
+
+func TestSpeedDecayOverCruise(t *testing.T) {
+	d := DefaultDrag()
+	// Coasting 500 m at 200 m/s: loss 138 J vs KE 5640 J → ~1.2 % speed loss.
+	decay := d.SpeedDecayOverCruise(282*units.Gram, 200, 500)
+	if decay <= 0 || decay >= 0.05 {
+		t.Errorf("decay = %v, want small positive", decay)
+	}
+	// A crawl must stop: KE at 1 m/s is 0.141 J, drag over 1 km is 277 J.
+	if got := d.SpeedDecayOverCruise(282*units.Gram, 1, 1000); got != 1 {
+		t.Errorf("stopped cart decay = %v, want 1", got)
+	}
+}
+
+func TestVacuumTube(t *testing.T) {
+	tube := DefaultTube()
+	if r := tube.PressureRatio(); math.Abs(r-100.0/101325) > 1e-12 {
+		t.Errorf("pressure ratio = %v", r)
+	}
+	// Density at 1 mbar, 20 °C ≈ 0.00119 kg/m³.
+	approx(t, "air density", tube.AirDensity(), 0.001188, 0.01)
+	// Aero drag at 200 m/s must be tiny (< 2 N) and the loss negligible.
+	if f := tube.AeroDragForce(200); f > 2 {
+		t.Errorf("aero drag force = %v N, want < 2", f)
+	}
+	if !tube.NegligibleAero(DefaultLIM(), 282*units.Gram, 200, 1000, 0.2) {
+		t.Error("aero loss should be negligible at rough vacuum")
+	}
+	// At atmospheric pressure the same cruise is NOT negligible.
+	atmo := tube
+	atmo.Pressure = AtmospherePascal
+	if atmo.NegligibleAero(DefaultLIM(), 282*units.Gram, 200, 1000, 0.2) {
+		t.Error("aero loss must matter at 1 atm")
+	}
+}
+
+func TestPumpDownEnergy(t *testing.T) {
+	tube := DefaultTube()
+	e := float64(tube.PumpDownEnergy(500))
+	// W = P0·V·ln(P0/P): V = π·0.15²·500 ≈ 35.34 m³ → ≈ 24.8 MJ.
+	approx(t, "pump-down", e, 101325*35.3429*math.Log(1013.25), 0.001)
+	bad := tube
+	bad.Pressure = 0
+	if !math.IsInf(float64(bad.PumpDownEnergy(500)), 1) {
+		t.Error("perfect vacuum needs infinite isothermal work")
+	}
+}
+
+func TestTimeModelString(t *testing.T) {
+	if TimeModelPaper.String() != "paper" || TimeModelExact.String() != "exact" {
+		t.Error("TimeModel strings wrong")
+	}
+	if TimeModel(9).String() != "TimeModel(9)" {
+		t.Errorf("unknown TimeModel string = %q", TimeModel(9).String())
+	}
+}
+
+func TestVacuumSustainingPower(t *testing.T) {
+	tube := DefaultTube()
+	// §IV-B: holding a rough vacuum takes minimal power. A 500 m tube's
+	// typical leak rate sustains on a few watts.
+	leak := tube.TypicalLeakRate(500)
+	if leak <= 0 {
+		t.Fatal("leak rate must be positive")
+	}
+	p := tube.SustainingPower(leak)
+	if p <= 0 || p > 10 {
+		t.Errorf("sustaining power = %v, want a few watts", p)
+	}
+	if tube.SustainingPower(0) != 0 {
+		t.Error("no leak, no power")
+	}
+	perfect := tube
+	perfect.Pressure = 0
+	if !math.IsInf(float64(perfect.SustainingPower(leak)), 1) {
+		t.Error("perfect vacuum needs infinite power")
+	}
+	// Sustaining power is far below a single launch's average power.
+	if float64(p) > 0.01*15040/8.6 {
+		t.Errorf("vacuum power %v should be ≪ launch average", p)
+	}
+}

@@ -1,0 +1,172 @@
+// Package sim is a minimal deterministic discrete-event simulation kernel
+// shared by the DHL system simulation (internal/dhlsys) and the astra-lite
+// training simulator (internal/astra).
+//
+// Events are executed in timestamp order; ties break in scheduling order, so
+// runs are fully deterministic. Simulated time is units.Seconds and never
+// reads the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Event is a scheduled callback. The zero value is inert.
+type Event struct {
+	Time units.Seconds
+	Name string
+
+	fn        func()
+	seq       uint64
+	index     int // heap index, -1 when not queued
+	cancelled bool
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation clock and event queue.
+type Engine struct {
+	now       units.Seconds
+	queue     eventHeap
+	seq       uint64
+	processed int
+	tracer    func(Event)
+}
+
+// New returns an engine at time 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() units.Seconds { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() int { return e.processed }
+
+// SetTracer installs a hook called before each event fires (nil disables).
+func (e *Engine) SetTracer(fn func(Event)) { e.tracer = fn }
+
+// ErrPastEvent is returned when scheduling before the current time.
+var ErrPastEvent = errors.New("sim: cannot schedule event in the past")
+
+// At schedules fn at absolute time t and returns a cancellable handle.
+func (e *Engine) At(t units.Seconds, name string, fn func()) (*Event, error) {
+	if t < e.now {
+		return nil, fmt.Errorf("%w: t=%v now=%v (%s)", ErrPastEvent, t, e.now, name)
+	}
+	if fn == nil {
+		return nil, errors.New("sim: nil event callback")
+	}
+	ev := &Event{Time: t, Name: name, fn: fn, seq: e.seq, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// After schedules fn after delay d.
+func (e *Engine) After(d units.Seconds, name string, fn func()) (*Event, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("%w: negative delay %v (%s)", ErrPastEvent, d, name)
+	}
+	return e.At(e.now+d, name, fn)
+}
+
+// MustAfter is After for delays known to be valid; it panics on error.
+func (e *Engine) MustAfter(d units.Seconds, name string, fn func()) *Event {
+	ev, err := e.After(d, name, fn)
+	if err != nil {
+		panic(err)
+	}
+	return ev
+}
+
+// Cancel removes a pending event. Cancelling a fired or already-cancelled
+// event is a no-op returning false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.cancelled || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.cancelled = true
+	return true
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Step executes the next event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.Time
+	if e.tracer != nil {
+		e.tracer(*ev)
+	}
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains, returning the count executed.
+// maxEvents bounds runaway simulations; ≤0 means no bound.
+func (e *Engine) Run(maxEvents int) (int, error) {
+	n := 0
+	for e.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			if len(e.queue) > 0 {
+				return n, fmt.Errorf("sim: event budget %d exhausted with %d pending", maxEvents, len(e.queue))
+			}
+			break
+		}
+	}
+	return n, nil
+}
+
+// RunUntil executes events with Time ≤ t, then advances the clock to t.
+func (e *Engine) RunUntil(t units.Seconds) int {
+	n := 0
+	for len(e.queue) > 0 && e.queue[0].Time <= t {
+		e.Step()
+		n++
+	}
+	if t > e.now {
+		e.now = t
+	}
+	return n
+}

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var order []string
+	add := func(at float64, name string) {
+		if _, err := e.At(units.Seconds(at), name, func() { order = append(order, name) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(5, "c")
+	add(1, "a")
+	add(5, "d") // same time as c: scheduling order breaks the tie
+	add(3, "b")
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c", "d"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 5 {
+		t.Errorf("final time = %v", e.Now())
+	}
+	if e.Processed() != 4 {
+		t.Errorf("processed = %d", e.Processed())
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	e := New()
+	var fired []float64
+	e.MustAfter(2, "outer", func() {
+		fired = append(fired, float64(e.Now()))
+		e.MustAfter(3, "inner", func() {
+			fired = append(fired, float64(e.Now()))
+		})
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 5 {
+		t.Fatalf("fired = %v, want [2 5]", fired)
+	}
+}
+
+func TestPastSchedulingRejected(t *testing.T) {
+	e := New()
+	e.MustAfter(5, "advance", func() {})
+	e.Step()
+	if _, err := e.At(3, "past", func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := e.After(-1, "negative", func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := e.At(10, "nilfn", nil); err == nil {
+		t.Error("nil callback must be rejected")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	ran := false
+	ev := e.MustAfter(1, "x", func() { ran = true })
+	if !e.Cancel(ev) {
+		t.Fatal("first cancel must succeed")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("second cancel must fail")
+	}
+	if !ev.Cancelled() {
+		t.Error("event not marked cancelled")
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("cancelled event fired")
+	}
+	if e.Cancel(nil) {
+		t.Error("cancelling nil must fail")
+	}
+	// Cancelling a fired event fails.
+	fired := e.MustAfter(0, "fired", func() {})
+	e.Step()
+	if e.Cancel(fired) {
+		t.Error("cancelling fired event must fail")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var order []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.MustAfter(units.Seconds(i), "n", func() { order = append(order, i) })
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 8 {
+		t.Fatalf("order = %v", order)
+	}
+	for _, v := range order {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("order not sorted: %v", order)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.MustAfter(units.Seconds(i), "tick", func() { count++ })
+	}
+	n := e.RunUntil(5.5)
+	if n != 5 || count != 5 {
+		t.Fatalf("ran %d events, count %d; want 5", n, count)
+	}
+	if e.Now() != 5.5 {
+		t.Errorf("clock = %v, want 5.5", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Errorf("pending = %d, want 5", e.Pending())
+	}
+	// RunUntil a past time only advances nothing.
+	if n := e.RunUntil(2); n != 0 {
+		t.Errorf("RunUntil(past) ran %d events", n)
+	}
+	if e.Now() != 5.5 {
+		t.Errorf("clock moved backwards to %v", e.Now())
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	e := New()
+	// Self-perpetuating event chain.
+	var tick func()
+	tick = func() { e.MustAfter(1, "tick", tick) }
+	e.MustAfter(1, "tick", tick)
+	n, err := e.Run(100)
+	if err == nil {
+		t.Fatal("budget exhaustion must error")
+	}
+	if n != 100 {
+		t.Errorf("ran %d, want 100", n)
+	}
+}
+
+func TestRunBudgetExactFinish(t *testing.T) {
+	e := New()
+	for i := 0; i < 5; i++ {
+		e.MustAfter(units.Seconds(i), "x", func() {})
+	}
+	n, err := e.Run(5)
+	if err != nil || n != 5 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestTracer(t *testing.T) {
+	e := New()
+	var traced []string
+	e.SetTracer(func(ev Event) { traced = append(traced, ev.Name) })
+	e.MustAfter(1, "a", func() {})
+	e.MustAfter(2, "b", func() {})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) != 2 || traced[0] != "a" || traced[1] != "b" {
+		t.Fatalf("traced = %v", traced)
+	}
+}
+
+func TestMustAfterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAfter with negative delay must panic")
+		}
+	}()
+	New().MustAfter(-1, "bad", func() {})
+}
+
+func TestOrderingProperty(t *testing.T) {
+	// Randomly scheduled events always fire in non-decreasing time order.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		last := math.Inf(-1)
+		ok := true
+		for i := 0; i < 200; i++ {
+			at := units.Seconds(rng.Float64() * 100)
+			e.MustAfter(at, "r", func() {
+				now := float64(e.Now())
+				if now < last {
+					ok = false
+				}
+				last = now
+			})
+		}
+		if _, err := e.Run(0); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

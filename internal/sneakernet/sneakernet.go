@@ -1,0 +1,158 @@
+// Package sneakernet models the embodied-movement baselines the paper
+// dismisses on the way to DHLs (§II-C, §VII-B): carrying disks by hand
+// ("the energy and dollar cost of moving the disks by hand would likely
+// eclipse that of optical networking") and truck-scale shipping à la AWS
+// Snowmobile ("shipping over 100 PB of data in only up to a few weeks'
+// time"). Both are friction-limited, which is exactly the inefficiency the
+// maglev design removes.
+package sneakernet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/storage"
+	"repro/internal/units"
+)
+
+// HumanCourier is a person walking drives across the data centre.
+type HumanCourier struct {
+	// WalkingSpeed, m/s.
+	WalkingSpeed units.MetresPerSecond
+	// CarryMass per trip.
+	CarryMass units.Grams
+	// MetabolicPower while walking loaded, watts (≈400 W for brisk loaded
+	// walking; the joules are food, but they are joules).
+	MetabolicPower units.Watts
+	// HourlyWage in USD.
+	HourlyWage units.USD
+	// HandlingPerTrip is the load/unload time at each end.
+	HandlingPerTrip units.Seconds
+}
+
+// DefaultCourier is a realistic data-centre technician.
+func DefaultCourier() HumanCourier {
+	return HumanCourier{
+		WalkingSpeed:    1.4,
+		CarryMass:       20 * units.Kilogram,
+		MetabolicPower:  400,
+		HourlyWage:      40,
+		HandlingPerTrip: 120,
+	}
+}
+
+// Validate checks the courier parameters.
+func (h HumanCourier) Validate() error {
+	if h.WalkingSpeed <= 0 || h.CarryMass <= 0 || h.MetabolicPower <= 0 ||
+		h.HourlyWage <= 0 || h.HandlingPerTrip < 0 {
+		return errors.New("sneakernet: courier parameters must be positive")
+	}
+	return nil
+}
+
+// CarryResult is the cost of a by-hand transfer.
+type CarryResult struct {
+	Drives int
+	Trips  int
+	// Time walking plus handling (one courier, round trips).
+	Time units.Seconds
+	// MetabolicEnergy burned.
+	MetabolicEnergy units.Joules
+	// LaborCost at the wage.
+	LaborCost units.USD
+	// Bandwidth delivered.
+	Bandwidth units.BytesPerSecond
+}
+
+// Carry computes moving a dataset on the given drive type over a distance.
+func (h HumanCourier) Carry(dataset units.Bytes, drive storage.DeviceSpec, distance units.Metres) (CarryResult, error) {
+	if err := h.Validate(); err != nil {
+		return CarryResult{}, err
+	}
+	if dataset <= 0 || distance <= 0 {
+		return CarryResult{}, errors.New("sneakernet: dataset and distance must be positive")
+	}
+	if drive.Capacity <= 0 || drive.Mass <= 0 {
+		return CarryResult{}, fmt.Errorf("sneakernet: drive %q needs capacity and mass", drive.Name)
+	}
+	drives := drive.DrivesFor(dataset)
+	perTrip := int(float64(h.CarryMass) / float64(drive.Mass))
+	if perTrip < 1 {
+		return CarryResult{}, fmt.Errorf("sneakernet: a %v drive exceeds the %v carry limit",
+			drive.Mass, h.CarryMass)
+	}
+	trips := int(math.Ceil(float64(drives) / float64(perTrip)))
+	// Each trip is a loaded walk out and an empty walk back.
+	walk := units.Seconds(2 * float64(distance) / float64(h.WalkingSpeed))
+	perTripTime := walk + h.HandlingPerTrip
+	total := units.Seconds(float64(trips)) * perTripTime
+	return CarryResult{
+		Drives:          drives,
+		Trips:           trips,
+		Time:            total,
+		MetabolicEnergy: units.Energy(h.MetabolicPower, total),
+		LaborCost:       units.USD(float64(total) / 3600 * float64(h.HourlyWage)),
+		Bandwidth:       units.BytesPerSecond(float64(dataset) / float64(total)),
+	}, nil
+}
+
+// Truck is a Snowmobile-class bulk shipment.
+type Truck struct {
+	// Capacity of the container (Snowmobile: 100 PB).
+	Capacity units.Bytes
+	// Speed on the road, m/s.
+	Speed units.MetresPerSecond
+	// LoadRate: how fast data is copied in/out of the container at each
+	// end (Snowmobile used up to 1 Tb/s fill).
+	LoadRate units.BytesPerSecond
+	// DieselPerMetre: energy per metre travelled, J/m (heavy trucks run
+	// ≈ 15 MJ/km fully loaded).
+	DieselPerMetre float64
+}
+
+// Snowmobile is the AWS reference point.
+func Snowmobile() Truck {
+	return Truck{
+		Capacity:       100 * units.PB,
+		Speed:          25, // 90 km/h
+		LoadRate:       (1000 * units.Gbps).BytesPerSecond(),
+		DieselPerMetre: 15e3,
+	}
+}
+
+// ShipResult is the cost of a trucked transfer.
+type ShipResult struct {
+	Shipments int
+	// Time covers fill, drive, and drain for all shipments (serial, one
+	// truck).
+	Time units.Seconds
+	// FuelEnergy burned on the road.
+	FuelEnergy units.Joules
+	Bandwidth  units.BytesPerSecond
+}
+
+// Ship computes moving a dataset over a road distance.
+func (t Truck) Ship(dataset units.Bytes, distance units.Metres) (ShipResult, error) {
+	if t.Capacity <= 0 || t.Speed <= 0 || t.LoadRate <= 0 || t.DieselPerMetre <= 0 {
+		return ShipResult{}, errors.New("sneakernet: truck parameters must be positive")
+	}
+	if dataset <= 0 || distance <= 0 {
+		return ShipResult{}, errors.New("sneakernet: dataset and distance must be positive")
+	}
+	shipments := int(math.Ceil(float64(dataset) / float64(t.Capacity)))
+	perShipment := dataset
+	if units.Bytes(shipments) > 1 {
+		perShipment = t.Capacity
+	}
+	fill := t.LoadRate.TransferTime(perShipment)
+	drive := units.Seconds(2 * float64(distance) / float64(t.Speed)) // return empty
+	per := 2*fill + drive                                            // fill + drive + drain
+	total := units.Seconds(float64(shipments)) * per
+	return ShipResult{
+		Shipments:  shipments,
+		Time:       total,
+		FuelEnergy: units.Joules(float64(shipments) * 2 * float64(distance) * t.DieselPerMetre),
+		Bandwidth:  units.BytesPerSecond(float64(dataset) / float64(total)),
+	}, nil
+}

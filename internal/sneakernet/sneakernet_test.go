@@ -1,0 +1,161 @@
+package sneakernet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netmodel"
+	"repro/internal/storage"
+	"repro/internal/units"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Max(math.Abs(want), 1e-12) {
+		t.Errorf("%s = %v, want %v (±%v%%)", name, got, want, tol*100)
+	}
+}
+
+func TestCourierValidation(t *testing.T) {
+	bad := DefaultCourier()
+	bad.WalkingSpeed = 0
+	if _, err := bad.Carry(units.PB, storage.WD22TB, 500); err == nil {
+		t.Error("zero speed must be rejected")
+	}
+	c := DefaultCourier()
+	if _, err := c.Carry(0, storage.WD22TB, 500); err == nil {
+		t.Error("zero dataset must be rejected")
+	}
+	if _, err := c.Carry(units.PB, storage.DeviceSpec{Name: "x"}, 500); err == nil {
+		t.Error("massless drive must be rejected")
+	}
+	heavy := storage.DeviceSpec{Name: "vault", Capacity: units.PB, Mass: 50 * units.Kilogram}
+	if _, err := c.Carry(units.PB, heavy, 500); err == nil {
+		t.Error("uncarriable drive must be rejected")
+	}
+}
+
+func TestCarry29PBByHand(t *testing.T) {
+	// §II-C: 29 PB is 1319 HDDs — "impractical without automation".
+	r, err := DefaultCourier().Carry(29*units.PB, storage.WD22TB, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Drives != 1319 {
+		t.Errorf("drives = %d, want 1319", r.Drives)
+	}
+	// 29 HDDs per 20 kg trip → 46 trips.
+	if r.Trips != 46 {
+		t.Errorf("trips = %d, want 46", r.Trips)
+	}
+	// Each trip: 1 km walk at 1.4 m/s + 120 s handling ≈ 834 s → ~10.7 h.
+	approx(t, "time", float64(r.Time), 46*(1000/1.4+120), 1e-9)
+	if r.Bandwidth <= 0 {
+		t.Error("bandwidth must be positive")
+	}
+}
+
+func TestHandCarryDollarCostEclipsesOptical(t *testing.T) {
+	// §II-C: "the energy and dollar cost of moving the disks by hand would
+	// likely eclipse that of optical networking." Network electricity for
+	// 29 PB over route C: 299.45 MJ ≈ 83 kWh ≈ $8.3. A technician's ~11 h
+	// eclipses that by orders of magnitude in wages alone.
+	r, err := DefaultCourier().Carry(29*units.PB, storage.WD22TB, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netKWh := float64(netmodel.ScenarioC.Power().Energy(29*units.PB)) / 3.6e6
+	netDollars := netKWh * 0.10
+	if float64(r.LaborCost) < 10*netDollars {
+		t.Errorf("labor %v should eclipse network electricity $%.2f", r.LaborCost, netDollars)
+	}
+}
+
+func TestDHLBeatsSneakernet(t *testing.T) {
+	// The DHL moves the same 29 PB in ~33 min vs the courier's ~11 h, with
+	// less energy than the courier's lunch.
+	courier, err := DefaultCourier().Carry(29*units.PB, storage.WD22TB, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dhl, err := core.Transfer(core.DefaultConfig(), 29*units.PB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dhl.Time >= courier.Time {
+		t.Errorf("DHL %v should beat courier %v", dhl.Time, courier.Time)
+	}
+	if dhl.Energy >= courier.MetabolicEnergy {
+		t.Errorf("DHL %v should undercut courier metabolic %v", dhl.Energy, courier.MetabolicEnergy)
+	}
+}
+
+func TestSnowmobileShipsHundredPBInWeeks(t *testing.T) {
+	// §VII-B: Snowmobile ships "over 100 PB of data in only up to a few
+	// weeks' time". 100 PB over 500 km:
+	r, err := Snowmobile().Ship(100*units.PB, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shipments != 1 {
+		t.Errorf("shipments = %d", r.Shipments)
+	}
+	days := r.Time.Days()
+	if days < 7 || days > 28 {
+		t.Errorf("shipment takes %.1f days, want 1–4 weeks", days)
+	}
+	// Fill time dominates over the drive.
+	fill := (1000 * units.Gbps).BytesPerSecond().TransferTime(100 * units.PB)
+	if float64(r.Time) < float64(fill) {
+		t.Error("total must include at least the fill")
+	}
+}
+
+func TestTruckValidationAndMultiShipment(t *testing.T) {
+	if _, err := (Truck{}).Ship(units.PB, 1000); err == nil {
+		t.Error("zero truck must be rejected")
+	}
+	if _, err := Snowmobile().Ship(0, 1000); err == nil {
+		t.Error("zero dataset must be rejected")
+	}
+	r, err := Snowmobile().Ship(250*units.PB, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shipments != 3 {
+		t.Errorf("shipments = %d, want 3", r.Shipments)
+	}
+	if r.FuelEnergy <= 0 {
+		t.Error("fuel energy must be positive")
+	}
+	// Fuel for 3 × 200 km at 15 MJ/km = 9 GJ.
+	approx(t, "fuel", float64(r.FuelEnergy), 3*2*100_000*15e3, 1e-9)
+}
+
+func TestFrictionLimitedEnergyComparison(t *testing.T) {
+	// §VII-B: "All of these methods limit energy savings due to
+	// friction-limited movement." Per byte, the truck burns orders of
+	// magnitude more than the DHL for a comparable task.
+	truck, err := Snowmobile().Ship(100*units.PB, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dhlCfg := core.DefaultConfig()
+	dhlCfg.Length = 1000
+	dhl, err := core.Transfer(dhlCfg, 100*units.PB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truckJPerB := float64(truck.FuelEnergy) / 100e15
+	dhlJPerB := float64(dhl.Energy) / 100e15
+	if truckJPerB <= 2*dhlJPerB {
+		t.Errorf("truck %.3g J/B should exceed DHL %.3g J/B", truckJPerB, dhlJPerB)
+	}
+	// And the decisive gap is delivery bandwidth: the truck's fill time
+	// caps it at ~60 GB/s while the DHL sustains tens of TB/s.
+	dhlBW := float64(100*units.PB) / float64(dhl.Time)
+	if dhlBW < 100*float64(truck.Bandwidth) {
+		t.Errorf("DHL %v B/s should be ≫ truck %v", dhlBW, truck.Bandwidth)
+	}
+}

@@ -1,0 +1,344 @@
+package storage
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Max(math.Abs(want), 1e-12) {
+		t.Errorf("%s = %v, want %v (±%v%%)", name, got, want, tol*100)
+	}
+}
+
+func TestCatalogDensityObservation(t *testing.T) {
+	// §II-A: "the 8TB M.2 SSD is almost 100× lighter than the 3.5" HDD for
+	// just 12.5× less capacity" — the density-per-gram argument.
+	massRatio := float64(WDGold.Mass) / float64(SabrentRocket4Plus.Mass)
+	capRatio := float64(WDGold.Capacity) / float64(SabrentRocket4Plus.Capacity)
+	if massRatio < 100 || massRatio > 125 {
+		t.Errorf("mass ratio = %v, want ≈118 (\"almost 100×\")", massRatio)
+	}
+	approx(t, "capacity ratio", capRatio, 3, 0.01) // 24/8
+	// Nimbus vs largest regular HDD: 100 TB ≈ 4.2× the 24 TB WD Gold
+	// (the paper's "5×" rounds against its 20 TB-class reference).
+	if NimbusExaDrive.Capacity <= 4*WDGold.Capacity {
+		t.Error("ExaDrive should be >4× WD Gold capacity")
+	}
+	// Per-gram density ordering: M.2 ≫ ExaDrive > HDD.
+	m2 := SabrentRocket4Plus.DensityPerGram()
+	exa := NimbusExaDrive.DensityPerGram()
+	hdd := WDGold.DensityPerGram()
+	if !(m2 > exa && exa > hdd) {
+		t.Errorf("density ordering broken: m2=%v exa=%v hdd=%v", m2, exa, hdd)
+	}
+}
+
+func TestReproDiskCounts(t *testing.T) {
+	// §II-C: "29PB requires 1319 22TB HDDs or 290 100TB SSDs".
+	if got := WD22TB.DrivesFor(29 * units.PB); got != 1319 {
+		t.Errorf("22TB HDDs for 29PB = %d, want 1319", got)
+	}
+	if got := NimbusExaDrive.DrivesFor(29 * units.PB); got != 290 {
+		t.Errorf("100TB SSDs for 29PB = %d, want 290", got)
+	}
+	if got := SabrentRocket4Plus.DrivesFor(0); got != 0 {
+		t.Errorf("drives for 0 bytes = %d, want 0", got)
+	}
+}
+
+func TestDeviceSpecString(t *testing.T) {
+	s := SabrentRocket4Plus.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestDeviceWriteReadLifecycle(t *testing.T) {
+	d := NewDevice(SabrentRocket4Plus)
+	if d.Free() != 8*units.TB {
+		t.Fatalf("fresh device free = %v", d.Free())
+	}
+	wt, err := d.Write(6 * units.TB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "write time", float64(wt), 6e12/6e9, 1e-9) // 6 TB at 6 GB/s = 1000 s
+	rt, err := d.Read(6 * units.TB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "read time", float64(rt), 6e12/7.1e9, 1e-9)
+	if d.Used() != 6*units.TB || d.Free() != 2*units.TB {
+		t.Errorf("used=%v free=%v", d.Used(), d.Free())
+	}
+	r, w := d.Totals()
+	if r != 6*units.TB || w != 6*units.TB {
+		t.Errorf("totals r=%v w=%v", r, w)
+	}
+}
+
+func TestDeviceErrors(t *testing.T) {
+	d := NewDevice(SabrentRocket4Plus)
+	if _, err := d.Write(9 * units.TB); !errors.Is(err, ErrOutOfSpace) {
+		t.Errorf("overfill err = %v", err)
+	}
+	if _, err := d.Read(units.GB); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("read-unwritten err = %v", err)
+	}
+	if _, err := d.Write(-1); !errors.Is(err, ErrNegativeLength) {
+		t.Errorf("negative write err = %v", err)
+	}
+	if _, err := d.Read(-1); !errors.Is(err, ErrNegativeLength) {
+		t.Errorf("negative read err = %v", err)
+	}
+	d.Fail()
+	if !d.Failed() {
+		t.Error("Fail() did not stick")
+	}
+	if _, err := d.Write(units.GB); !errors.Is(err, ErrDeviceFailed) {
+		t.Errorf("failed write err = %v", err)
+	}
+	if _, err := d.Read(0); !errors.Is(err, ErrDeviceFailed) {
+		t.Errorf("failed read err = %v", err)
+	}
+	d.Repair()
+	if d.Failed() || d.Used() != 0 {
+		t.Error("Repair() must restore health and reset contents")
+	}
+}
+
+func TestDevicePlugCycles(t *testing.T) {
+	d := NewDevice(SabrentRocket4Plus) // rated 300 cycles
+	for i := 0; i < 300; i++ {
+		if !d.Plug() {
+			t.Fatalf("plug %d should be within rating", i+1)
+		}
+	}
+	if d.Plug() {
+		t.Error("plug 301 should exceed the M.2 rating")
+	}
+	if d.PlugCount() != 301 {
+		t.Errorf("plug count = %d", d.PlugCount())
+	}
+	unrated := NewDevice(DeviceSpec{Name: "x", Capacity: units.TB})
+	if !unrated.Plug() {
+		t.Error("unrated connector should never exceed rating")
+	}
+}
+
+func TestPCIeLaneRate(t *testing.T) {
+	r6, err := PCIeLaneRate(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §III-B.5: 3.8 Tb/s over 64 lanes.
+	approx(t, "pcie6 ×64", float64(r6)*64, 3.8e12, 1e-9)
+	if _, err := PCIeLaneRate(7); err == nil {
+		t.Error("unknown generation must error")
+	}
+}
+
+func TestArrayValidation(t *testing.T) {
+	if _, err := NewArray(RAID0, SabrentRocket4Plus, 0, 6, 1); !errors.Is(err, ErrNoDevices) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := NewArray(RAID5, SabrentRocket4Plus, 2, 6, 1); err == nil {
+		t.Error("RAID5 with 2 devices must be rejected")
+	}
+	if _, err := NewArray(RAID0, SabrentRocket4Plus, 4, 9, 1); err == nil {
+		t.Error("bad PCIe generation must be rejected")
+	}
+	if _, err := NewArray(RAID0, SabrentRocket4Plus, 4, 6, 0); err == nil {
+		t.Error("zero lanes must be rejected")
+	}
+}
+
+func TestCartArrayCapacityAndBandwidth(t *testing.T) {
+	// The paper's default cart: 32 × 8 TB M.2 = 256 TB.
+	a, err := NewArray(RAID0, SabrentRocket4Plus, 32, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Capacity() != 256*units.TB {
+		t.Errorf("capacity = %v, want 256TB", a.Capacity())
+	}
+	// Device-sum read bandwidth 32×7.1 GB/s = 227.2 GB/s; PCIe6 ×32 lanes =
+	// 1.9 Tb/s = 237.5 GB/s, so devices limit.
+	approx(t, "read bw", float64(a.ReadBandwidth()), 227.2e9, 1e-9)
+	// Local access "well into the terabytes per second" needs more lanes:
+	// 64-SSD cart: 64×7.1 = 454.4 GB/s device-limited.
+	big, _ := NewArray(RAID0, SabrentRocket4Plus, 64, 6, 1)
+	approx(t, "64-SSD read bw", float64(big.ReadBandwidth()), 454.4e9, 1e-9)
+}
+
+func TestArrayPCIeCapApplies(t *testing.T) {
+	// Constrain to PCIe gen 3 ×1 per device: 1 GB/s per device caps the
+	// 7.1 GB/s devices.
+	a, err := NewArray(RAID0, SabrentRocket4Plus, 4, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "capped bw", float64(a.ReadBandwidth()), 4e9, 1e-9)
+	tt, err := a.Write(4 * units.TB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PCIe-capped write: 4 TB at 4 GB/s = 1000 s (device-limited would be
+	// 1 TB/device at 6 GB/s ≈ 167 s).
+	approx(t, "capped write time", float64(tt), 1000, 1e-9)
+}
+
+func TestArrayStripedTiming(t *testing.T) {
+	a, _ := NewArray(RAID0, SabrentRocket4Plus, 32, 6, 2)
+	tt, err := a.Write(256 * units.TB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 TB per device at 6 GB/s = 1333.3 s.
+	approx(t, "full write", float64(tt), 8e12/6e9, 1e-9)
+	rt, err := a.Read(256 * units.TB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "full read", float64(rt), 8e12/7.1e9, 1e-9)
+	if _, err := a.Write(units.GB); !errors.Is(err, ErrOutOfSpace) {
+		t.Errorf("overfill err = %v", err)
+	}
+}
+
+func TestArrayErrors(t *testing.T) {
+	a, _ := NewArray(RAID0, SabrentRocket4Plus, 4, 6, 1)
+	if _, err := a.Write(-1); !errors.Is(err, ErrNegativeLength) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := a.Read(-1); !errors.Is(err, ErrNegativeLength) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := a.Read(units.GB); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("err = %v", err)
+	}
+	if err := a.FailDevice(7); err == nil {
+		t.Error("out-of-range FailDevice must error")
+	}
+}
+
+func TestRAID0FailureIsFatal(t *testing.T) {
+	a, _ := NewArray(RAID0, SabrentRocket4Plus, 4, 6, 1)
+	if _, err := a.Write(units.TB); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FailDevice(2); err != nil {
+		t.Fatal(err)
+	}
+	if a.Healthy() {
+		t.Error("RAID0 with a failed device must be unhealthy")
+	}
+	if _, err := a.Read(units.TB); !errors.Is(err, ErrDegraded) {
+		t.Errorf("read err = %v", err)
+	}
+}
+
+func TestRAID5SurvivesOneFailure(t *testing.T) {
+	a, err := NewArray(RAID5, SabrentRocket4Plus, 33, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 33 devices, 32 data: usable 256 TB.
+	if a.Capacity() != 256*units.TB {
+		t.Errorf("RAID5 capacity = %v", a.Capacity())
+	}
+	if _, err := a.Write(100 * units.TB); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FailDevice(5); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Healthy() || !a.Degraded() {
+		t.Error("one failure must leave RAID5 healthy but degraded")
+	}
+	if _, err := a.Read(100 * units.TB); err != nil {
+		t.Errorf("degraded read failed: %v", err)
+	}
+	rt, err := a.RebuildTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild limited by the 6 GB/s replacement write of 8 TB.
+	approx(t, "rebuild", float64(rt), 8e12/6e9, 1e-9)
+	// Second failure is fatal.
+	if err := a.FailDevice(6); err != nil {
+		t.Fatal(err)
+	}
+	if a.Healthy() {
+		t.Error("two failures must kill RAID5")
+	}
+	if _, err := a.Read(units.GB); !errors.Is(err, ErrDegraded) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRebuildOnlyWhenDegraded(t *testing.T) {
+	a, _ := NewArray(RAID5, SabrentRocket4Plus, 4, 6, 1)
+	if _, err := a.RebuildTime(); err == nil {
+		t.Error("rebuild of healthy array must error")
+	}
+	r0, _ := NewArray(RAID0, SabrentRocket4Plus, 4, 6, 1)
+	if _, err := r0.RebuildTime(); err == nil {
+		t.Error("rebuild of RAID0 must error")
+	}
+}
+
+func TestArrayActivePower(t *testing.T) {
+	a, _ := NewArray(RAID0, SabrentRocket4Plus, 32, 6, 1)
+	// §VI heat-sink discussion: 32 SSDs × 10 W = 320 W under load.
+	if a.ActivePower() != 320 {
+		t.Errorf("active power = %v, want 320W", a.ActivePower())
+	}
+	a.Devices[0].Fail()
+	if a.ActivePower() != 310 {
+		t.Errorf("power after failure = %v, want 310W", a.ActivePower())
+	}
+}
+
+func TestArrayWriteReadConservationProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		n := units.Bytes(float64(raw%1000)+1) * units.GB
+		a, err := NewArray(RAID0, SabrentRocket4Plus, 8, 6, 1)
+		if err != nil {
+			return false
+		}
+		if _, err := a.Write(n); err != nil {
+			return false
+		}
+		if math.Abs(float64(a.Used()-n)) > 1e-3 {
+			return false
+		}
+		_, err = a.Read(n)
+		return err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRAIDLevelString(t *testing.T) {
+	if RAID0.String() != "RAID0" || RAID5.String() != "RAID5" {
+		t.Error("RAID level strings wrong")
+	}
+	if RAIDLevel(7).String() != "RAIDLevel(7)" {
+		t.Errorf("got %q", RAIDLevel(7).String())
+	}
+}
+
+func TestDensityPerGramDegenerate(t *testing.T) {
+	d := DeviceSpec{Capacity: units.TB}
+	if !math.IsInf(float64(d.DensityPerGram()), 1) {
+		t.Error("zero mass must give +Inf density")
+	}
+}
