@@ -5,10 +5,15 @@ package repro
 //
 //	go test -bench=. -benchmem
 //
-// EXPERIMENTS.md maps every benchmark to its paper artefact and records
-// paper-versus-measured values.
+// or scripts/bench.sh for the regression harness. EXPERIMENTS.md maps every
+// benchmark to its paper artefact and records paper-versus-measured values.
+//
+// Conventions: every benchmark calls b.ReportAllocs(), and any setup that is
+// not part of the measured artefact happens before b.ResetTimer().
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/astra"
@@ -22,6 +27,7 @@ import (
 	"repro/internal/netmodel"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/sweep"
 	"repro/internal/thermal"
 	"repro/internal/track"
 	"repro/internal/units"
@@ -32,6 +38,7 @@ import (
 // (E1): the five A0–C route energies for the 29 PB transfer, derived from
 // fat-tree routing.
 func BenchmarkFig2RouteEnergies(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		routes := netmodel.ScenarioRoutes()
 		var total units.Joules
@@ -46,6 +53,7 @@ func BenchmarkFig2RouteEnergies(b *testing.B) {
 
 // BenchmarkTableVCartMass regenerates Table V's cart masses (E3).
 func BenchmarkTableVCartMass(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, n := range []int{16, 32, 64} {
 			c, err := cart.New(cart.DefaultConfig().WithSSDs(n))
@@ -60,14 +68,66 @@ func BenchmarkTableVCartMass(b *testing.B) {
 }
 
 // BenchmarkTableVIDesignSpace regenerates Table VI's single-launch block
-// (E4): all 13 configurations' energy/time/bandwidth/power/efficiency.
+// (E4): all 13 configurations' energy/time/bandwidth/power/efficiency,
+// evaluated sequentially (the paper-scale baseline).
 func BenchmarkTableVIDesignSpace(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rows, err := core.DesignSpace()
+		rows, err := core.DesignSpace(sweep.Workers(1))
 		if err != nil {
 			b.Fatal(err)
 		}
 		if len(rows) != 13 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// fineBenchGrid is the ≥200-point grid both fine-design-space benchmarks
+// share, so their ns/op are directly comparable.
+func fineBenchGrid(b *testing.B) core.FineGrid {
+	b.Helper()
+	g, err := core.UniformFineGrid(8, 5, 5) // 200 points
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkFineDesignSpaceSequential sweeps a 200-point speed × length ×
+// capacity grid on one worker — the sequential baseline for the parallel
+// engine.
+func BenchmarkFineDesignSpaceSequential(b *testing.B) {
+	g := fineBenchGrid(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := core.FineDesignSpace(ctx, g, PaperDataset, sweep.Workers(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 200 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkDesignSpaceParallel sweeps the same 200-point grid on the
+// GOMAXPROCS-bounded worker pool. With ≥4 cores this runs ≥2× faster than
+// BenchmarkFineDesignSpaceSequential while producing byte-identical rows
+// (TestFineDesignSpaceDeterministic asserts the identity).
+func BenchmarkDesignSpaceParallel(b *testing.B) {
+	g := fineBenchGrid(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := core.FineDesignSpace(ctx, g, PaperDataset, sweep.Workers(runtime.GOMAXPROCS(0)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 200 {
 			b.Fatalf("rows = %d", len(rows))
 		}
 	}
@@ -81,6 +141,7 @@ func BenchmarkTableVI29PB(b *testing.B) {
 		DefaultConfig().With(200, 500, 32),
 		DefaultConfig().With(300, 500, 32),
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, cfg := range cfgs {
@@ -99,6 +160,7 @@ func BenchmarkTableVI29PB(b *testing.B) {
 func BenchmarkTableVIIIsoPower(b *testing.B) {
 	w := DLRM()
 	dhl := astra.DefaultDHL()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err := astra.IsoPower(w, dhl)
@@ -115,6 +177,7 @@ func BenchmarkTableVIIIsoPower(b *testing.B) {
 func BenchmarkTableVIIIsoTime(b *testing.B) {
 	w := DLRM()
 	dhl := astra.DefaultDHL()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err := astra.IsoTime(w, dhl)
@@ -127,11 +190,33 @@ func BenchmarkTableVIIIsoTime(b *testing.B) {
 	}
 }
 
-// BenchmarkFigure6 regenerates the full Figure 6 sweep (E8): five quantised
-// DHL curves and five continuous network curves.
+// BenchmarkFigure6 regenerates the full Figure 6 sweep (E8) sequentially:
+// five quantised DHL curves and five continuous network curves.
 func BenchmarkFigure6(b *testing.B) {
 	w := DLRM()
 	opt := astra.DefaultFigure6Options()
+	opt.Workers = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		curves, err := astra.Figure6(w, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(curves) != 10 {
+			b.Fatal("bad curve count")
+		}
+	}
+}
+
+// BenchmarkFigure6Parallel regenerates Figure 6 with one sweep worker per
+// curve; results are byte-identical to BenchmarkFigure6's
+// (TestFigure6ParallelMatchesSequential).
+func BenchmarkFigure6Parallel(b *testing.B) {
+	w := DLRM()
+	opt := astra.DefaultFigure6Options()
+	opt.Workers = runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		curves, err := astra.Figure6(w, opt)
@@ -147,6 +232,7 @@ func BenchmarkFigure6(b *testing.B) {
 // BenchmarkTableVIIICost regenerates Table VIII (E9): rail, LIM, and the
 // 3×3 overall grid.
 func BenchmarkTableVIIICost(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if g := cost.PaperGrid(); len(g) != 9 {
 			b.Fatal("bad grid")
@@ -157,6 +243,7 @@ func BenchmarkTableVIIICost(b *testing.B) {
 // BenchmarkMinimumSpecCrossover regenerates §V-E's break-even analysis (E10).
 func BenchmarkMinimumSpecCrossover(b *testing.B) {
 	cfg := core.MinimumSpecConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := core.Crossover(cfg, netmodel.ScenarioA0)
@@ -169,10 +256,34 @@ func BenchmarkMinimumSpecCrossover(b *testing.B) {
 	}
 }
 
+// BenchmarkMinimumSpecSearch sweeps the §V-E break-even analysis over a
+// 75-point grid around the minimum-spec operating point.
+func BenchmarkMinimumSpecSearch(b *testing.B) {
+	base := core.MinimumSpecConfig()
+	g := core.FineGrid{
+		Speeds:  []units.MetresPerSecond{5, 10, 20, 40, 80},
+		Lengths: []units.Metres{10, 20, 50, 100, 500},
+		SSDs:    []int{1, 2, 4},
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.MinimumSpecSearch(ctx, base, g, 360*units.GB, netmodel.ScenarioA0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Best == nil {
+			b.Fatal("no winning spec")
+		}
+	}
+}
+
 // BenchmarkSystemSimulation runs the event-driven DHL system end to end
 // (E12): a pipelined 2.56 PB transfer with endpoint reads on a dual-rail,
 // 4-dock deployment.
 func BenchmarkSystemSimulation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		opt := dhlsys.DefaultOptions()
 		opt.NumCarts = 4
@@ -198,6 +309,7 @@ func BenchmarkSystemSimulation(b *testing.B) {
 func BenchmarkSimulateIteration(b *testing.B) {
 	w := DLRM()
 	dhl := astra.DefaultDHL()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := w.SimulateIteration(dhl, astra.PaperDownscale); err != nil {
@@ -228,6 +340,7 @@ func BenchmarkEventKernel(b *testing.B) {
 
 // BenchmarkStorageArray measures striped array transfers.
 func BenchmarkStorageArray(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		a, err := storage.NewArray(storage.RAID0, storage.SabrentRocket4Plus, 32, 6, 1)
 		if err != nil {
@@ -245,6 +358,7 @@ func BenchmarkStorageArray(b *testing.B) {
 // BenchmarkWorkloadGenerators measures trace generation for the three
 // §II-D settings.
 func BenchmarkWorkloadGenerators(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := workload.DefaultPhysicsBurst().Generate(); err != nil {
 			b.Fatal(err)
@@ -263,8 +377,11 @@ func BenchmarkWorkloadGenerators(b *testing.B) {
 // BenchmarkAblationDockTime sweeps the §V-A dominant overhead: docking.
 func BenchmarkAblationDockTime(b *testing.B) {
 	times := []units.Seconds{0, 1, 2, 3, 4, 5}
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := core.DockTimeSensitivity(DefaultConfig(), times)
+		rows, err := core.DockTimeSensitivity(cfg, times)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -277,8 +394,11 @@ func BenchmarkAblationDockTime(b *testing.B) {
 // BenchmarkAblationAcceleration sweeps the peak-power/trip-time trade-off.
 func BenchmarkAblationAcceleration(b *testing.B) {
 	accels := []units.MetresPerSecond2{250, 500, 1000, 2000}
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.AccelerationTradeoff(DefaultConfig(), accels); err != nil {
+		if _, err := core.AccelerationTradeoff(cfg, accels); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -287,8 +407,11 @@ func BenchmarkAblationAcceleration(b *testing.B) {
 // BenchmarkAblationRegenBraking sweeps the §VI 16–70 % regeneration range.
 func BenchmarkAblationRegenBraking(b *testing.B) {
 	regens := []float64{0, 0.16, 0.3, 0.5, 0.7}
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RegenerativeBrakingSavings(DefaultConfig(), regens); err != nil {
+		if _, err := core.RegenerativeBrakingSavings(cfg, regens); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -296,6 +419,7 @@ func BenchmarkAblationRegenBraking(b *testing.B) {
 
 // BenchmarkAblationDensityScaling projects the §II-A SSD-density argument.
 func BenchmarkAblationDensityScaling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := core.DefaultDensityScaling()
 		if err != nil {
@@ -317,8 +441,11 @@ func BenchmarkMultistopContention(b *testing.B) {
 		{Name: "rack-C", Position: 380},
 		{Name: "rack-D", Position: 500},
 	}
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		l, err := multistop.New(DefaultConfig(), stops)
+		l, err := multistop.New(cfg, stops)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -343,8 +470,11 @@ func BenchmarkMultistopContention(b *testing.B) {
 // BenchmarkStabilisationLoop runs the §III-B.2 active-stabilisation control
 // simulation (1 s at 10 kHz integration).
 func BenchmarkStabilisationLoop(b *testing.B) {
+	plant, ctrl, opt := control.DefaultPlant(), control.DefaultController(), control.DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := control.Simulate(control.DefaultPlant(), control.DefaultController(), control.DefaultOptions())
+		r, err := control.Simulate(plant, ctrl, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -357,6 +487,8 @@ func BenchmarkStabilisationLoop(b *testing.B) {
 // BenchmarkThermalAnalysis evaluates the §VI heat-sink budget for a cart.
 func BenchmarkThermalAnalysis(b *testing.B) {
 	c := thermal.CartThermals{Sink: thermal.ConductiveFins, NumSSDs: 32, Ambient: thermal.DefaultAmbient}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := thermal.Analyze(c); err != nil {
 			b.Fatal(err)
@@ -371,6 +503,7 @@ func BenchmarkTraceReplay(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		opt := dhlsys.DefaultOptions()
@@ -388,6 +521,7 @@ func BenchmarkTraceReplay(b *testing.B) {
 // BenchmarkDatamapPlacement places and appends datasets across a fleet's
 // catalogue (§III-D data mapping).
 func BenchmarkDatamapPlacement(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c := datamap.NewCatalog()
 		for j := 0; j < 8; j++ {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/sneakernet"
 	"repro/internal/storage"
+	"repro/internal/sweep"
 	"repro/internal/thermal"
 	"repro/internal/units"
 )
@@ -22,11 +24,14 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dhlablate: ")
+	jobs := flag.Int("j", 0, "sweep worker-pool size (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
+	flag.Parse()
+	workers := sweep.Workers(*jobs)
 	cfg := core.DefaultConfig()
 
 	dock := report.NewTable("Docking-time sensitivity (§V-A observation a)",
 		"dock_s", "launch_s", "dock_share", "bw_TB/s")
-	rows, err := core.DockTimeSensitivity(cfg, []units.Seconds{0, 1, 2, 3, 4, 5})
+	rows, err := core.DockTimeSensitivity(cfg, []units.Seconds{0, 1, 2, 3, 4, 5}, workers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +43,7 @@ func main() {
 
 	acc := report.NewTable("Acceleration vs peak power (§V-A note)",
 		"accel_m/s2", "LIM_m", "launch_s", "extra_s", "peak_kW")
-	arows, err := core.AccelerationTradeoff(cfg, []units.MetresPerSecond2{250, 500, 1000, 2000})
+	arows, err := core.AccelerationTradeoff(cfg, []units.MetresPerSecond2{250, 500, 1000, 2000}, workers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +55,7 @@ func main() {
 
 	regen := report.NewTable("Regenerative braking (§VI, 16–70%)",
 		"regen", "energy_kJ", "saving")
-	rrows, err := core.RegenerativeBrakingSavings(cfg, []float64{0, 0.16, 0.3, 0.5, 0.7})
+	rrows, err := core.RegenerativeBrakingSavings(cfg, []float64{0, 0.16, 0.3, 0.5, 0.7}, workers)
 	if err != nil {
 		log.Fatal(err)
 	}

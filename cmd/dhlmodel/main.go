@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	dhlmodel [-sweep paper|full] [-dataset-pb N] [-format table|csv] [-exact]
+//	dhlmodel [-sweep paper|full|fine] [-fine SxLxC] [-dataset-pb N]
+//	         [-format table|csv] [-exact] [-j N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/physics"
 	"repro/internal/report"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -22,42 +25,48 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dhlmodel: ")
 	var (
-		sweep     = flag.String("sweep", "paper", "parameter sweep: \"paper\" (the 13 Table VI rows) or \"full\" (all 27 combinations)")
+		sweepMode = flag.String("sweep", "paper", "parameter sweep: \"paper\" (the 13 Table VI rows), \"full\" (all 27 combinations), or \"fine\" (uniform grid, see -fine)")
+		fine      = flag.String("fine", "8x5x5", "fine-grid resolution as speeds×lengths×carts (with -sweep fine)")
 		datasetPB = flag.Float64("dataset-pb", 29, "dataset size to transfer, in PB")
 		format    = flag.String("format", "table", "output format: \"table\" or \"csv\"")
 		exact     = flag.Bool("exact", false, "use exact trapezoidal ramp timing instead of the paper's accounting")
+		jobs      = flag.Int("j", 0, "sweep worker-pool size (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 	)
 	flag.Parse()
 
-	var rows []core.TableVIRow
-	var err error
-	switch *sweep {
-	case "paper":
-		rows, err = core.DesignSpace()
-	case "full":
-		rows, err = core.FullFactorialSweep()
-	default:
-		log.Fatalf("unknown -sweep %q", *sweep)
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
 	if *datasetPB <= 0 {
 		log.Fatalf("-dataset-pb must be positive, got %v", *datasetPB)
 	}
 	dataset := units.Bytes(*datasetPB) * units.PB
-	// Re-evaluate against the requested dataset / time model if they differ
-	// from the defaults the sweep used.
-	for i := range rows {
-		cfg := rows[i].Launch.Config
-		if *exact {
-			cfg.TimeModel = physics.TimeModelExact
+
+	var configs []core.Config
+	switch *sweepMode {
+	case "paper":
+		configs = core.DesignSpaceConfigs()
+	case "full":
+		configs = core.PaperResolutionGrid().Configs(core.DefaultConfig())
+	case "fine":
+		var ns, nl, nc int
+		if _, err := fmt.Sscanf(*fine, "%dx%dx%d", &ns, &nl, &nc); err != nil {
+			log.Fatalf("bad -fine %q, want e.g. 8x5x5: %v", *fine, err)
 		}
-		tr, err := core.Transfer(cfg, dataset)
+		g, err := core.UniformFineGrid(ns, nl, nc)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rows[i] = core.TableVIRow{Launch: tr.Launch, Transfer: tr, Comparisons: core.CompareAll(tr)}
+		configs = g.Configs(core.DefaultConfig())
+	default:
+		log.Fatalf("unknown -sweep %q", *sweepMode)
+	}
+	if *exact {
+		for i := range configs {
+			configs[i].TimeModel = physics.TimeModelExact
+		}
+	}
+
+	rows, err := core.EvalConfigs(context.Background(), configs, dataset, sweep.Workers(*jobs))
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	headers := []string{"config", "energy_kJ", "eff_GB/J", "time_s", "bw_TB/s", "peak_kW",

@@ -15,6 +15,7 @@ import (
 	"repro/internal/astra"
 	"repro/internal/core"
 	"repro/internal/report"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -25,6 +26,7 @@ func main() {
 		asCSV   = flag.Bool("csv", false, "emit CSV instead of tables/plots")
 		tracks  = flag.Int("tracks", 1, "DHL tracks for the Table VII comparison")
 		regen   = flag.Float64("regen", astra.DefaultRegen, "regenerative braking efficiency [0,1]")
+		jobs    = flag.Int("j", 0, "sweep worker-pool size (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 	)
 	flag.Parse()
 
@@ -35,7 +37,9 @@ func main() {
 	}
 
 	if *figure6 {
-		curves, err := astra.Figure6(w, astra.DefaultFigure6Options())
+		opt := astra.DefaultFigure6Options()
+		opt.Workers = *jobs
+		curves, err := astra.Figure6(w, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -81,12 +85,12 @@ func main() {
 		}
 		fmt.Println()
 	}
-	iso, err := astra.IsoPower(w, dhl)
+	iso, err := astra.IsoPower(w, dhl, sweep.Workers(*jobs))
 	if err != nil {
 		log.Fatal(err)
 	}
 	emit("Table VII(a) — time comparison with fixed average power", iso, "slowdown_vs_DHL")
-	isoT, err := astra.IsoTime(w, dhl)
+	isoT, err := astra.IsoTime(w, dhl, sweep.Workers(*jobs))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,80 @@
+package astra
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// renderCurves flattens Figure 6 output to bytes so any divergence between
+// the sequential and parallel sweeps is caught at the rendered level too.
+func renderCurves(curves []Curve) string {
+	s := ""
+	for _, c := range curves {
+		s += fmt.Sprintf("%s quantised=%v\n", c.Name, c.Quantised)
+		for _, p := range c.Points {
+			s += fmt.Sprintf("%v %v\n", float64(p.Power), float64(p.Time))
+		}
+	}
+	return s
+}
+
+// TestFigure6ParallelMatchesSequential is the acceptance gate for the
+// Figure 6 rewiring: the concurrent sweep must be byte-identical to the
+// sequential path at every worker count.
+func TestFigure6ParallelMatchesSequential(t *testing.T) {
+	w := DefaultDLRM()
+	opt := DefaultFigure6Options()
+	opt.Workers = 1
+	seq, err := Figure6(w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 10 {
+		t.Fatalf("curves = %d, want 10", len(seq))
+	}
+	for _, workers := range []int{0, 2, 8} {
+		opt.Workers = workers
+		got, err := Figure6(w, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, seq) {
+			t.Fatalf("workers=%d: parallel Figure 6 diverges from sequential", workers)
+		}
+		if renderCurves(got) != renderCurves(seq) {
+			t.Fatalf("workers=%d: rendered curves differ", workers)
+		}
+	}
+}
+
+func TestTableVIIParallelMatchesSequential(t *testing.T) {
+	w := DefaultDLRM()
+	dhl := DefaultDHL()
+	seqPower, err := IsoPower(w, dhl, sweep.Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqTime, err := IsoTime(w, dhl, sweep.Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 8} {
+		gotPower, err := IsoPower(w, dhl, sweep.Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotPower, seqPower) {
+			t.Fatalf("workers=%d: IsoPower diverges from sequential", workers)
+		}
+		gotTime, err := IsoTime(w, dhl, sweep.Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotTime, seqTime) {
+			t.Fatalf("workers=%d: IsoTime diverges from sequential", workers)
+		}
+	}
+}

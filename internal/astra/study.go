@@ -1,11 +1,13 @@
 package astra
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/core"
 	"repro/internal/netmodel"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -26,10 +28,31 @@ type SchemeResult struct {
 
 // IsoPower reproduces Table VII(a): every scheme gets the DHL's average
 // power budget; networks parallelise links continuously; iteration times and
-// slowdowns are reported. Rows are DHL, A0, A1, A2, B, C.
-func IsoPower(w DLRM, dhl DHL) ([]SchemeResult, error) {
+// slowdowns are reported. Rows are DHL, A0, A1, A2, B, C. The five network
+// scenarios are evaluated on the parallel sweep engine.
+func IsoPower(w DLRM, dhl DHL, opts ...sweep.Option) ([]SchemeResult, error) {
 	budget := dhl.AveragePower()
 	dhlIter, err := w.Iteration(dhl)
+	if err != nil {
+		return nil, err
+	}
+	netRows, err := sweep.Map(context.Background(), netmodel.Scenarios(),
+		func(_ context.Context, s netmodel.Scenario) (SchemeResult, error) {
+			opt, err := OpticalForBudget(s, budget)
+			if err != nil {
+				return SchemeResult{}, err
+			}
+			it, err := w.Iteration(opt)
+			if err != nil {
+				return SchemeResult{}, err
+			}
+			return SchemeResult{
+				Scheme:      s.String(),
+				Power:       opt.AveragePower(),
+				TimePerIter: it.Total(),
+				Factor:      units.Ratio(float64(it.Total()) / float64(dhlIter.Total())),
+			}, nil
+		}, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -39,29 +62,14 @@ func IsoPower(w DLRM, dhl DHL) ([]SchemeResult, error) {
 		TimePerIter: dhlIter.Total(),
 		Factor:      1,
 	}}
-	for _, s := range netmodel.Scenarios() {
-		opt, err := OpticalForBudget(s, budget)
-		if err != nil {
-			return nil, err
-		}
-		it, err := w.Iteration(opt)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, SchemeResult{
-			Scheme:      s.String(),
-			Power:       opt.AveragePower(),
-			TimePerIter: it.Total(),
-			Factor:      units.Ratio(float64(it.Total()) / float64(dhlIter.Total())),
-		})
-	}
-	return rows, nil
+	return append(rows, netRows...), nil
 }
 
 // IsoTime reproduces Table VII(b): every network is given exactly enough
 // parallel links to match the DHL's iteration time; the resulting powers and
-// power increases are reported.
-func IsoTime(w DLRM, dhl DHL) ([]SchemeResult, error) {
+// power increases are reported. The five network scenarios are evaluated on
+// the parallel sweep engine.
+func IsoTime(w DLRM, dhl DHL, opts ...sweep.Option) ([]SchemeResult, error) {
 	dhlIter, err := w.Iteration(dhl)
 	if err != nil {
 		return nil, err
@@ -73,26 +81,30 @@ func IsoTime(w DLRM, dhl DHL) ([]SchemeResult, error) {
 			target, w.NonIngestTime())
 	}
 	neededBW := float64(w.IngestBytes()) / float64(ingestBudget)
+	netRows, err := sweep.Map(context.Background(), netmodel.Scenarios(),
+		func(_ context.Context, s netmodel.Scenario) (SchemeResult, error) {
+			links := neededBW / float64(netmodel.LinkBandwidth())
+			opt, err := NewOptical(s, links)
+			if err != nil {
+				return SchemeResult{}, err
+			}
+			return SchemeResult{
+				Scheme:      s.String(),
+				Power:       opt.AveragePower(),
+				TimePerIter: target,
+				Factor:      units.Ratio(float64(opt.AveragePower()) / float64(dhl.AveragePower())),
+			}, nil
+		}, opts...)
+	if err != nil {
+		return nil, err
+	}
 	rows := []SchemeResult{{
 		Scheme:      "DHL",
 		Power:       dhl.AveragePower(),
 		TimePerIter: target,
 		Factor:      1,
 	}}
-	for _, s := range netmodel.Scenarios() {
-		links := neededBW / float64(netmodel.LinkBandwidth())
-		opt, err := NewOptical(s, links)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, SchemeResult{
-			Scheme:      s.String(),
-			Power:       opt.AveragePower(),
-			TimePerIter: target,
-			Factor:      units.Ratio(float64(opt.AveragePower()) / float64(dhl.AveragePower())),
-		})
-	}
-	return rows, nil
+	return append(rows, netRows...), nil
 }
 
 // CurvePoint is one (power, time) sample of a Figure 6 series.
@@ -119,6 +131,9 @@ type Figure6Options struct {
 	NetPoints int
 	// Regen for the DHL transports.
 	Regen float64
+	// Workers bounds the sweep worker pool; 0 selects GOMAXPROCS, 1 runs
+	// sequentially. Results are identical at any setting.
+	Workers int
 }
 
 // DefaultFigure6Options plots the paper's DHL variants (speed sweep and
@@ -143,6 +158,9 @@ func DefaultFigure6Options() Figure6Options {
 // Figure6 generates the full figure: time per iteration (log-scale in the
 // paper) as a function of the communication power budget, one quantised
 // curve per DHL variant and one continuous curve per network scenario.
+// Curves are evaluated concurrently on the parallel sweep engine — one
+// worker per curve — and returned in the same order as the sequential
+// implementation: DHL variants first, then the network scenarios.
 func Figure6(w DLRM, opt Figure6Options) ([]Curve, error) {
 	if opt.MaxPower <= 0 {
 		return nil, fmt.Errorf("astra: max power must be positive, got %v", opt.MaxPower)
@@ -150,50 +168,70 @@ func Figure6(w DLRM, opt Figure6Options) ([]Curve, error) {
 	if opt.NetPoints < 2 {
 		return nil, fmt.Errorf("astra: need ≥2 network points, got %d", opt.NetPoints)
 	}
-	var curves []Curve
+	type job struct {
+		cfg      core.Config // DHL curve when scenario is nil
+		scenario *netmodel.Scenario
+	}
+	var jobs []job
 	for _, cfg := range opt.DHLConfigs {
-		one, err := NewDHL(cfg, 1, opt.Regen)
-		if err != nil {
-			return nil, err
-		}
-		maxTracks := int(float64(opt.MaxPower) / float64(one.AveragePower()))
-		c := Curve{Name: cfg.String(), Quantised: true}
-		for k := 1; k <= maxTracks; k++ {
-			d, err := NewDHL(cfg, k, opt.Regen)
-			if err != nil {
-				return nil, err
-			}
-			it, err := w.Iteration(d)
-			if err != nil {
-				return nil, err
-			}
-			c.Points = append(c.Points, CurvePoint{Power: d.AveragePower(), Time: it.Total()})
-		}
-		if len(c.Points) == 0 {
-			return nil, fmt.Errorf("astra: budget %v affords no %v track", opt.MaxPower, cfg)
-		}
-		curves = append(curves, c)
+		jobs = append(jobs, job{cfg: cfg})
 	}
 	for _, s := range netmodel.Scenarios() {
-		c := Curve{Name: s.String()}
-		minP := float64(s.Power().Total()) // at least one link
-		// Log-spaced budgets from one link to MaxPower.
-		for i := 0; i < opt.NetPoints; i++ {
-			frac := float64(i) / float64(opt.NetPoints-1)
-			p := minP * math.Pow(float64(opt.MaxPower)/minP, frac)
-			optTr, err := OpticalForBudget(s, units.Watts(p))
-			if err != nil {
-				return nil, err
-			}
-			it, err := w.Iteration(optTr)
-			if err != nil {
-				return nil, err
-			}
-			c.Points = append(c.Points, CurvePoint{Power: units.Watts(p), Time: it.Total()})
-		}
-		curves = append(curves, c)
+		s := s
+		jobs = append(jobs, job{scenario: &s})
 	}
-	return curves, nil
+	return sweep.Map(context.Background(), jobs, func(_ context.Context, j job) (Curve, error) {
+		if j.scenario == nil {
+			return dhlCurve(w, j.cfg, opt)
+		}
+		return networkCurve(w, *j.scenario, opt)
+	}, sweep.Workers(opt.Workers))
+}
+
+// dhlCurve sweeps track counts for one DHL variant. The launch metrics are
+// computed once and shared across every track count (NewDHL would
+// recompute them per point).
+func dhlCurve(w DLRM, cfg core.Config, opt Figure6Options) (Curve, error) {
+	one, err := NewDHL(cfg, 1, opt.Regen)
+	if err != nil {
+		return Curve{}, err
+	}
+	maxTracks := int(float64(opt.MaxPower) / float64(one.AveragePower()))
+	c := Curve{Name: cfg.String(), Quantised: true}
+	for k := 1; k <= maxTracks; k++ {
+		d := one
+		d.Tracks = k
+		it, err := w.Iteration(d)
+		if err != nil {
+			return Curve{}, err
+		}
+		c.Points = append(c.Points, CurvePoint{Power: d.AveragePower(), Time: it.Total()})
+	}
+	if len(c.Points) == 0 {
+		return Curve{}, fmt.Errorf("astra: budget %v affords no %v track", opt.MaxPower, cfg)
+	}
+	return c, nil
+}
+
+// networkCurve samples one continuous optical-scenario curve.
+func networkCurve(w DLRM, s netmodel.Scenario, opt Figure6Options) (Curve, error) {
+	c := Curve{Name: s.String()}
+	minP := float64(s.Power().Total()) // at least one link
+	// Log-spaced budgets from one link to MaxPower.
+	for i := 0; i < opt.NetPoints; i++ {
+		frac := float64(i) / float64(opt.NetPoints-1)
+		p := minP * math.Pow(float64(opt.MaxPower)/minP, frac)
+		optTr, err := OpticalForBudget(s, units.Watts(p))
+		if err != nil {
+			return Curve{}, err
+		}
+		it, err := w.Iteration(optTr)
+		if err != nil {
+			return Curve{}, err
+		}
+		c.Points = append(c.Points, CurvePoint{Power: units.Watts(p), Time: it.Total()})
+	}
+	return c, nil
 }
 
 // TimeAtPower interpolates a curve's iteration time at a power budget,

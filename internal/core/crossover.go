@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cart"
 	"repro/internal/netmodel"
 	"repro/internal/storage"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -89,4 +91,96 @@ func (r CrossoverResult) String() string {
 // profile is realisable (twice the LIM ramp length).
 func MinimumTrackLength(c Config) units.Metres {
 	return units.Metres(2 * float64(c.MaxSpeed) * float64(c.MaxSpeed) / (2 * float64(c.Acceleration)))
+}
+
+// CrossoverAll computes the break-even point of one configuration against
+// every network scenario in paper order, on the parallel sweep engine.
+func CrossoverAll(ctx context.Context, c Config, opts ...sweep.Option) ([]CrossoverResult, error) {
+	return sweep.Map(ctx, netmodel.Scenarios(),
+		func(_ context.Context, s netmodel.Scenario) (CrossoverResult, error) {
+			return Crossover(c, s)
+		}, opts...)
+}
+
+// SpecSearchPoint is one evaluated point of a minimum-specification search.
+type SpecSearchPoint struct {
+	Config Config
+	// Valid is false for grid points that are not physically realisable
+	// (e.g. a track too short to reach the speed); such points carry a zero
+	// Crossover and never win.
+	Valid     bool
+	Crossover CrossoverResult
+	// Wins reports whether the DHL beats the optical link at the search
+	// dataset size (the dataset exceeds break-even and fits on the cart).
+	Wins bool
+}
+
+// SpecSearchResult is the outcome of MinimumSpecSearch.
+type SpecSearchResult struct {
+	Dataset  units.Bytes
+	Scenario netmodel.Scenario
+	// Points holds every grid point in row-major grid order.
+	Points []SpecSearchPoint
+	// Best is the minimum specification among winning points — smallest
+	// cart, then slowest speed, then shortest track — or nil if no point
+	// wins. It indexes into Points.
+	Best *SpecSearchPoint
+}
+
+// MinimumSpecSearch generalises the paper's §V-E argument to a grid: it
+// sweeps speed × length × capacity points around base in parallel, computes
+// each point's break-even against the scenario, and selects the minimum
+// specification whose single launch beats the optical link for the given
+// dataset. Unrealisable grid points are marked invalid rather than aborting
+// the search. The selection scans points in input order, so the result is
+// deterministic regardless of evaluation order.
+func MinimumSpecSearch(ctx context.Context, base Config, g FineGrid, dataset units.Bytes, s netmodel.Scenario, opts ...sweep.Option) (SpecSearchResult, error) {
+	if dataset <= 0 {
+		return SpecSearchResult{}, fmt.Errorf("core: search dataset must be positive, got %v", dataset)
+	}
+	if g.Size() == 0 {
+		return SpecSearchResult{}, fmt.Errorf("core: empty search grid")
+	}
+	points, err := sweep.Map(ctx, g.Configs(base),
+		func(_ context.Context, c Config) (SpecSearchPoint, error) {
+			if c.Validate() != nil {
+				return SpecSearchPoint{Config: c}, nil
+			}
+			r, err := Crossover(c, s)
+			if err != nil {
+				return SpecSearchPoint{}, err
+			}
+			return SpecSearchPoint{
+				Config:    c,
+				Valid:     true,
+				Crossover: r,
+				Wins:      r.DHLWins(dataset),
+			}, nil
+		}, opts...)
+	if err != nil {
+		return SpecSearchResult{}, err
+	}
+	res := SpecSearchResult{Dataset: dataset, Scenario: s, Points: points}
+	for i := range points {
+		p := &points[i]
+		if !p.Wins {
+			continue
+		}
+		if res.Best == nil || lighterSpec(p.Config, res.Best.Config) {
+			res.Best = p
+		}
+	}
+	return res, nil
+}
+
+// lighterSpec orders configurations by how little they demand: smaller cart
+// first, then lower speed, then shorter track.
+func lighterSpec(a, b Config) bool {
+	if ca, cb := a.Cart.Capacity(), b.Cart.Capacity(); ca != cb {
+		return ca < cb
+	}
+	if a.MaxSpeed != b.MaxSpeed {
+		return a.MaxSpeed < b.MaxSpeed
+	}
+	return a.Length < b.Length
 }

@@ -184,10 +184,16 @@ func Transfer(c Config, dataset units.Bytes) (BulkTransfer, error) {
 	if err != nil {
 		return BulkTransfer{}, err
 	}
+	return transferFromLaunch(l, dataset)
+}
+
+// transferFromLaunch derives the bulk-transfer cost from already-computed
+// launch metrics (shared by Transfer and LaunchCache.Transfer).
+func transferFromLaunch(l LaunchMetrics, dataset units.Bytes) (BulkTransfer, error) {
 	if dataset <= 0 {
 		return BulkTransfer{}, fmt.Errorf("core: dataset must be positive, got %v", dataset)
 	}
-	capB := float64(c.Cart.Capacity())
+	capB := float64(l.Config.Cart.Capacity())
 	deliveries := int(math.Ceil(float64(dataset) / capB))
 	total := int(math.Ceil(2 * float64(dataset) / capB))
 	return BulkTransfer{

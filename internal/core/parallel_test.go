@@ -1,0 +1,304 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cart"
+	"repro/internal/sweep"
+	"repro/internal/units"
+)
+
+// renderRows flattens Table VI rows through their string formatting, so a
+// comparison catches any byte-level divergence a reader of the tables would
+// see (reflect.DeepEqual separately catches structural divergence).
+func renderRows(rows []TableVIRow) string {
+	s := ""
+	for _, r := range rows {
+		s += r.Launch.String() + "\n"
+		s += fmt.Sprintf("%v %d %d %v %v\n", r.Transfer.Dataset,
+			r.Transfer.DeliveryTrips, r.Transfer.TotalTrips, r.Transfer.Time, r.Transfer.Energy)
+		for _, c := range r.Comparisons {
+			s += fmt.Sprintf("%v %v %v %v %v\n", c.Scenario, c.NetworkTime, c.NetworkEnergy,
+				c.TimeSpeedup, c.EnergyReduction)
+		}
+	}
+	return s
+}
+
+// TestDesignSpaceMatchesPlainLoop is the acceptance gate for the sweep
+// engine: the parallel DesignSpace must be byte-identical to a plain
+// sequential loop over the same configurations.
+func TestDesignSpaceMatchesPlainLoop(t *testing.T) {
+	var want []TableVIRow
+	for _, c := range DesignSpaceConfigs() {
+		tr, err := Transfer(c, PaperDataset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, TableVIRow{Launch: tr.Launch, Transfer: tr, Comparisons: CompareAll(tr)})
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := DesignSpace(sweep.Workers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel design space diverges from the plain loop", workers)
+		}
+		if g, w := renderRows(got), renderRows(want); g != w {
+			t.Fatalf("workers=%d: rendered rows differ:\n%s\nvs\n%s", workers, g, w)
+		}
+	}
+}
+
+// TestAblationsMatchPlainLoop checks the three rewired ablations against
+// handwritten sequential loops.
+func TestAblationsMatchPlainLoop(t *testing.T) {
+	base := DefaultConfig()
+
+	dockTimes := []units.Seconds{0, 1, 2, 3, 4, 5}
+	var wantDock []DockSensitivityRow
+	for _, d := range dockTimes {
+		c := base
+		c.DockTime, c.UndockTime = d, d
+		l, err := Launch(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDock = append(wantDock, DockSensitivityRow{DockTime: d, Launch: l, DockShare: float64(2*d) / float64(l.Time)})
+	}
+
+	accels := []units.MetresPerSecond2{250, 500, 1000, 2000}
+	var wantAccel []AccelerationRow
+	fastest := units.Seconds(0)
+	for i, a := range accels {
+		c := base
+		c.Acceleration = a
+		l, err := Launch(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 || l.Time < fastest {
+			fastest = l.Time
+		}
+		wantAccel = append(wantAccel, AccelerationRow{Acceleration: a, Launch: l, LIMLength: c.LIM.RequiredLength(c.MaxSpeed, a)})
+	}
+	for i := range wantAccel {
+		wantAccel[i].ExtraTime = wantAccel[i].Launch.Time - fastest
+	}
+
+	regens := []float64{0, 0.16, 0.3, 0.5, 0.7}
+	baseline, err := Launch(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantRegen []RegenRow
+	for _, g := range regens {
+		c := base
+		c.LIM.RegenEfficiency = g
+		l, err := Launch(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRegen = append(wantRegen, RegenRow{Regen: g, Energy: l.Energy,
+			Saving: units.Ratio(float64(baseline.Energy) / float64(l.Energy))})
+	}
+
+	for _, workers := range []int{1, 8} {
+		opt := sweep.Workers(workers)
+		gotDock, err := DockTimeSensitivity(base, dockTimes, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotDock, wantDock) {
+			t.Fatalf("workers=%d: dock ablation diverges from the plain loop", workers)
+		}
+		gotAccel, err := AccelerationTradeoff(base, accels, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotAccel, wantAccel) {
+			t.Fatalf("workers=%d: acceleration ablation diverges from the plain loop", workers)
+		}
+		gotRegen, err := RegenerativeBrakingSavings(base, regens, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotRegen, wantRegen) {
+			t.Fatalf("workers=%d: regen ablation diverges from the plain loop", workers)
+		}
+	}
+}
+
+func TestDockTimeSensitivityRejectsNegative(t *testing.T) {
+	if _, err := DockTimeSensitivity(DefaultConfig(), []units.Seconds{3, -1}); err == nil {
+		t.Fatal("negative dock time: want error")
+	}
+}
+
+// TestFineDesignSpaceContainsTableVI pins the "special case" claim: every
+// one of the 13 Table VI rows appears, identically evaluated, among the 27
+// points of the paper-resolution grid.
+func TestFineDesignSpaceContainsTableVI(t *testing.T) {
+	fine, err := FineDesignSpace(context.Background(), PaperResolutionGrid(), PaperDataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fine) != 27 {
+		t.Fatalf("paper-resolution grid has %d rows, want 27", len(fine))
+	}
+	paper, err := DesignSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range paper {
+		found := false
+		for _, f := range fine {
+			if f.Launch.Config.String() == row.Launch.Config.String() {
+				found = true
+				if f.Launch.String() != row.Launch.String() {
+					t.Fatalf("row %d (%v): grid evaluation differs: %v vs %v",
+						i, row.Launch.Config, f.Launch, row.Launch)
+				}
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("Table VI row %d (%v) missing from the paper-resolution grid", i, row.Launch.Config)
+		}
+	}
+}
+
+// TestFineDesignSpaceDeterministic runs a 200-point grid twice in parallel
+// and once sequentially; all three must render to identical bytes.
+func TestFineDesignSpaceDeterministic(t *testing.T) {
+	g, err := UniformFineGrid(8, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 200 {
+		t.Fatalf("grid size = %d, want 200", g.Size())
+	}
+	ctx := context.Background()
+	seq, err := FineDesignSpace(ctx, g, PaperDataset, sweep.Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 2; run++ {
+		par, err := FineDesignSpace(ctx, g, PaperDataset, sweep.Workers(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("run %d: parallel fine grid diverges from sequential", run)
+		}
+		if renderRows(par) != renderRows(seq) {
+			t.Fatalf("run %d: rendered fine grids differ", run)
+		}
+	}
+}
+
+func TestUniformFineGridResolution(t *testing.T) {
+	g, err := UniformFineGrid(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := g.Configs(DefaultConfig())[0]
+	if cfg.String() != "DHL-200-500-256" {
+		t.Fatalf("resolution-1 grid = %v, want the paper default", cfg)
+	}
+	if _, err := UniformFineGrid(0, 3, 3); err == nil {
+		t.Fatal("zero resolution: want error")
+	}
+	// Multi-point axes span the Table V ranges endpoint to endpoint.
+	g3, err := UniformFineGrid(3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.Speeds[0] != 100 || g3.Speeds[2] != 300 {
+		t.Fatalf("speed axis %v does not span [100, 300]", g3.Speeds)
+	}
+	if g3.Lengths[0] != 100 || g3.Lengths[3] != 1000 {
+		t.Fatalf("length axis %v does not span [100, 1000]", g3.Lengths)
+	}
+	if g3.SSDs[0] != 16 || g3.SSDs[1] != 64 {
+		t.Fatalf("SSD axis %v does not span [16, 64]", g3.SSDs)
+	}
+}
+
+func TestLaunchCache(t *testing.T) {
+	cache := NewLaunchCache()
+	base := DefaultConfig()
+	direct, err := Launch(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two Configs describing the same deployment through different cart
+	// instances share one evaluation.
+	twin := base
+	twin.Cart = cart.MustNew(cart.DefaultConfig())
+	for _, c := range []Config{base, twin, base} {
+		got, err := cache.Launch(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != direct.String() {
+			t.Fatalf("cached launch %v differs from direct %v", got, direct)
+		}
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d keys, want 1", cache.Len())
+	}
+	hits, misses := cache.Stats()
+	if misses != 1 || hits != 2 {
+		t.Fatalf("stats = %d hits, %d misses; want 2, 1", hits, misses)
+	}
+	// A nil cache degrades to direct evaluation.
+	var nilCache *LaunchCache
+	got, err := nilCache.Launch(base)
+	if err != nil || got.String() != direct.String() {
+		t.Fatalf("nil cache: %v, %v", got, err)
+	}
+}
+
+// TestParallelSweepSpeedup asserts the ≥2× speedup of the parallel fine-grid
+// sweep over the sequential path. It needs real hardware parallelism, so it
+// skips below 4 cores (BenchmarkFineDesignSpace* measures the same thing as
+// a benchmark pair).
+func TestParallelSweepSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need ≥4 cores for the speedup assertion, have %d", runtime.GOMAXPROCS(0))
+	}
+	g, err := UniformFineGrid(10, 5, 5) // 250 points
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	measure := func(workers int) time.Duration {
+		best := time.Duration(1<<62 - 1)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			if _, err := FineDesignSpace(ctx, g, PaperDataset, sweep.Workers(workers)); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	seq := measure(1)
+	par := measure(0)
+	if par*2 > seq {
+		t.Errorf("parallel sweep %v not ≥2× faster than sequential %v on %d cores",
+			par, seq, runtime.GOMAXPROCS(0))
+	}
+}

@@ -155,3 +155,62 @@ func TestFleetIntegrationWithDeviceWear(t *testing.T) {
 	}
 	_ = track.CartID(2)
 }
+
+func TestZeroCartFleetRejected(t *testing.T) {
+	// A fleet cannot be empty: zero and negative cart counts both fail, and
+	// the constructor returns no half-built tracker alongside the error.
+	for _, n := range []int{0, -3} {
+		f, err := New(USBC, DefaultPolicy(), n)
+		if err == nil {
+			t.Errorf("New with %d carts: want error", n)
+		}
+		if f != nil {
+			t.Errorf("New with %d carts returned a fleet alongside the error", n)
+		}
+	}
+}
+
+func TestProjectZeroAndNegativeDockRate(t *testing.T) {
+	f := newFleet(t, USBC)
+	for _, rate := range []float64{0, -1} {
+		p, err := f.Project(rate)
+		if err == nil {
+			t.Errorf("Project(%v): want error", rate)
+		}
+		if p != (Projection{}) {
+			t.Errorf("Project(%v) returned a non-zero projection alongside the error: %+v", rate, p)
+		}
+	}
+}
+
+func TestProjectAvailabilityBounds(t *testing.T) {
+	// Even at an absurd duty cycle (a dock every few seconds, around the
+	// clock) the projection stays internally consistent: availability in
+	// [0, 1], a positive service interval, and replacement counts that
+	// scale linearly with the docking rate.
+	f := newFleet(t, USBC)
+	slow, err := f.Project(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := f.Project(40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Projection{slow, fast} {
+		if p.Availability < 0 || p.Availability > 1 {
+			t.Errorf("availability %v outside [0, 1]", p.Availability)
+		}
+		if p.DaysBetweenService <= 0 {
+			t.Errorf("service interval %v not positive", p.DaysBetweenService)
+		}
+	}
+	if fast.Availability >= slow.Availability {
+		t.Errorf("availability must fall with duty cycle: %v vs %v",
+			fast.Availability, slow.Availability)
+	}
+	ratio := fast.ReplacementsPerCartYear / slow.ReplacementsPerCartYear
+	if math.Abs(ratio-10_000) > 1e-6 {
+		t.Errorf("replacements do not scale linearly with dock rate: ratio = %v", ratio)
+	}
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Benchmark-regression harness: runs every paper-artefact benchmark three
+# times with allocation reporting and writes BENCH_sweep.json, recording the
+# best (minimum) ns/op per benchmark alongside B/op and allocs/op. Compare
+# the file against a previous run to spot hot-path regressions.
+#
+# Usage: scripts/bench.sh [output.json]   (default BENCH_sweep.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_sweep.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run=NONE -bench=. -benchmem -count=3 . | tee "$raw"
+
+awk -v gomaxprocs="$(go env GOMAXPROCS 2>/dev/null || nproc)" '
+/^Benchmark/ {
+    # BenchmarkName-N  iters  ns/op  B/op  allocs/op
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = $3 + 0
+    bytes = $5 + 0
+    allocs = $7 + 0
+    if (!(name in best) || ns < best[name]) {
+        best[name] = ns
+        bop[name] = bytes
+        aop[name] = allocs
+    }
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+END {
+    printf "{\n"
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"count\": 3,\n"
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %.1f, \"bytes_per_op\": %d, \"allocs_per_op\": %d}%s\n", \
+            name, best[name], bop[name], aop[name], (i < n ? "," : "")
+    }
+    printf "  ]\n"
+    printf "}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks, best of 3)"
