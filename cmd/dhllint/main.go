@@ -1,0 +1,235 @@
+// Command dhllint runs the repository's domain-specific static analyzers
+// (internal/lint) over the module: determinism, map-order, unit-safety,
+// float-equality, and goroutine-hygiene rules, pure stdlib end to end.
+//
+// Usage:
+//
+//	go run ./cmd/dhllint ./...             # lint every package
+//	go run ./cmd/dhllint ./internal/core   # lint specific directories
+//	go run ./cmd/dhllint -json ./...       # machine-readable report
+//	go run ./cmd/dhllint -rules determinism,maporder ./...
+//	go run ./cmd/dhllint -disable floateq ./...
+//
+// Exit status: 0 clean, 1 diagnostics found, 2 usage or load error.
+// Suppress a finding in place with a justified escape hatch:
+//
+//	//dhllint:allow <rule> -- <why this is safe>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+type report struct {
+	Module      string            `json:"module"`
+	Total       int               `json:"total"`
+	Counts      map[string]int    `json:"counts"`
+	Diagnostics []lint.Diagnostic `json:"diagnostics"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut = flag.Bool("json", false, "emit a JSON report instead of file:line:col lines")
+		rules   = flag.String("rules", "", "comma-separated rules to run (default: all)")
+		disable = flag.String("disable", "", "comma-separated rules to skip")
+		list    = flag.Bool("list", false, "list available rules and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root, modpath, err := findModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dhllint:", err)
+		return 2
+	}
+	cfg := lint.DefaultConfig(root, modpath)
+	if cfg.Enabled, err = ruleSet(*rules, *disable); err != nil {
+		fmt.Fprintln(os.Stderr, "dhllint:", err)
+		return 2
+	}
+
+	paths, err := targetPaths(flag.Args(), root, modpath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dhllint:", err)
+		return 2
+	}
+
+	diags, err := lint.Run(cfg, paths)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dhllint:", err)
+		return 2
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil {
+			diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+
+	if *jsonOut {
+		r := report{Module: modpath, Total: len(diags), Counts: map[string]int{}, Diagnostics: diags}
+		if r.Diagnostics == nil {
+			r.Diagnostics = []lint.Diagnostic{}
+		}
+		for _, d := range diags {
+			r.Counts[d.Rule]++
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(os.Stderr, "dhllint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Printf("dhllint: %d issue(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// ruleSet resolves -rules/-disable into the config's Enabled map,
+// rejecting unknown rule names. "allow" (the justification check on
+// escape-hatch comments) is always a valid name.
+func ruleSet(rules, disable string) (map[string]bool, error) {
+	known := map[string]bool{"allow": true}
+	for _, a := range lint.All() {
+		known[a.Name] = true
+	}
+	check := func(names []string) error {
+		for _, n := range names {
+			if !known[n] {
+				return fmt.Errorf("unknown rule %q (use -list)", n)
+			}
+		}
+		return nil
+	}
+	if rules == "" && disable == "" {
+		return nil, nil
+	}
+	enabled := map[string]bool{}
+	if rules == "" {
+		for name := range known {
+			enabled[name] = true
+		}
+	} else {
+		names := splitList(rules)
+		if err := check(names); err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			enabled[n] = true
+		}
+	}
+	names := splitList(disable)
+	if err := check(names); err != nil {
+		return nil, err
+	}
+	for _, n := range names {
+		delete(enabled, n)
+	}
+	return enabled, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// findModule locates go.mod upward from the working directory and reads
+// the module path.
+func findModule() (root, modpath string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// targetPaths maps command-line patterns to import paths. "./..." (or no
+// arguments) selects every package in the module; other arguments name
+// package directories.
+func targetPaths(args []string, root, modpath string) ([]string, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." || arg == "all" {
+			pkgs, err := lint.ModulePackages(root, modpath)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pkgs {
+				add(p)
+			}
+			continue
+		}
+		abs, err := filepath.Abs(arg)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("%s is outside the module", arg)
+		}
+		if rel == "." {
+			add(modpath)
+		} else {
+			add(modpath + "/" + filepath.ToSlash(rel))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -50,7 +50,7 @@ func main() {
 		cartsPerBurst = 1
 	}
 	period := trace[1].At - trace[0].At
-	shipTime := units.Seconds(float64(cartsPerBurst)) * launch.Time
+	shipTime := units.Seconds(float64(cartsPerBurst) * float64(launch.Time))
 	fmt.Printf("\nEach burst ships on %d cart(s) in %v; experiments every %v → ", cartsPerBurst, shipTime, period)
 	if shipTime < period {
 		fmt.Println("the DHL keeps up with zero filtering.")

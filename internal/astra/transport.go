@@ -187,7 +187,7 @@ func (d DHL) DeliverTime(b units.Bytes) units.Seconds {
 	perTrack := int(math.Ceil(float64(carts) / float64(d.Tracks)))
 	// First delivery lands after one one-way trip; subsequent deliveries
 	// every cycle.
-	return d.launch.Time + units.Seconds(float64(perTrack-1))*d.CycleTime()
+	return d.launch.Time + units.Seconds(float64(perTrack-1)*float64(d.CycleTime()))
 }
 
 // AveragePower implements Transport.

@@ -95,13 +95,13 @@ func New(cfg Config) (*Cart, error) {
 		return nil, fmt.Errorf("%w: magnet=%v fin=%v", ErrBadMassFractions,
 			cfg.MagnetFraction, cfg.FinFraction)
 	}
-	ssd := units.Grams(float64(cfg.NumSSDs)) * cfg.SSD.Mass
+	ssd := units.Grams(float64(cfg.NumSSDs) * float64(cfg.SSD.Mass))
 	total := (cfg.FrameMass + ssd) / units.Grams(payloadFrac)
 	return &Cart{
 		Config:     cfg,
 		SSDMass:    ssd,
-		MagnetMass: total * units.Grams(cfg.MagnetFraction),
-		FinMass:    total * units.Grams(cfg.FinFraction),
+		MagnetMass: units.Grams(float64(total) * cfg.MagnetFraction),
+		FinMass:    units.Grams(float64(total) * cfg.FinFraction),
 		TotalMass:  total,
 	}, nil
 }
@@ -118,7 +118,7 @@ func MustNew(cfg Config) *Cart {
 
 // Capacity is the cart's total storage capacity.
 func (c *Cart) Capacity() units.Bytes {
-	return units.Bytes(float64(c.Config.NumSSDs)) * c.Config.SSD.Capacity
+	return units.Bytes(float64(c.Config.NumSSDs) * float64(c.Config.SSD.Capacity))
 }
 
 // DensityPerGram is bytes stored per gram of cart.

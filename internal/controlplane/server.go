@@ -44,6 +44,7 @@ func (s *Server) Listen(addr string) (string, error) {
 	}
 	s.ln = ln
 	s.wg.Add(1)
+	//dhllint:allow goroutine -- network accept loop, not model code; the simulation stays single-threaded behind s.mu
 	go s.acceptLoop()
 	return ln.Addr().String(), nil
 }
@@ -61,6 +62,7 @@ func (s *Server) acceptLoop() {
 			}
 		}
 		s.wg.Add(1)
+		//dhllint:allow goroutine -- per-connection I/O handler; every simulation op it issues is serialized by s.mu
 		go func() {
 			defer s.wg.Done()
 			s.serveConn(conn)

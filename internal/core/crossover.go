@@ -176,10 +176,10 @@ func MinimumSpecSearch(ctx context.Context, base Config, g FineGrid, dataset uni
 // lighterSpec orders configurations by how little they demand: smaller cart
 // first, then lower speed, then shorter track.
 func lighterSpec(a, b Config) bool {
-	if ca, cb := a.Cart.Capacity(), b.Cart.Capacity(); ca != cb {
+	if ca, cb := a.Cart.Capacity(), b.Cart.Capacity(); ca < cb || cb < ca {
 		return ca < cb
 	}
-	if a.MaxSpeed != b.MaxSpeed {
+	if a.MaxSpeed < b.MaxSpeed || b.MaxSpeed < a.MaxSpeed {
 		return a.MaxSpeed < b.MaxSpeed
 	}
 	return a.Length < b.Length

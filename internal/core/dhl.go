@@ -201,8 +201,8 @@ func transferFromLaunch(l LaunchMetrics, dataset units.Bytes) (BulkTransfer, err
 		Dataset:       dataset,
 		DeliveryTrips: deliveries,
 		TotalTrips:    total,
-		Time:          units.Seconds(float64(total)) * l.Time,
-		Energy:        units.Joules(float64(total)) * l.Energy,
+		Time:          units.Seconds(float64(total) * float64(l.Time)),
+		Energy:        units.Joules(float64(total) * float64(l.Energy)),
 	}, nil
 }
 

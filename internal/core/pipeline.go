@@ -76,7 +76,7 @@ func TransferPipelined(c Config, dataset units.Bytes, opts PipelineOptions) (Pip
 	// Completion: after the first cart lands, either the rail drains the
 	// deliveries (last read trailing) or the stations batch the reads —
 	// whichever binds.
-	railBound := units.Seconds(n-1)*railCadence + readTime
+	railBound := units.Seconds((n-1)*float64(railCadence)) + readTime
 	batches := math.Ceil(n / float64(opts.DockStations))
 	readBound := units.Seconds(batches * float64(readTime))
 	tail := railBound

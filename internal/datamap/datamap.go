@@ -84,11 +84,14 @@ func (c *Catalog) AddCart(id track.CartID, numSSDs int, ssdCap units.Bytes) erro
 	return nil
 }
 
-// FreeBytes is the total unallocated capacity.
+// FreeBytes is the total unallocated capacity. Summation walks carts in
+// ID order: float addition is not associative, so iterating the map
+// directly would let Go's randomized map order perturb the low bits from
+// run to run.
 func (c *Catalog) FreeBytes() units.Bytes {
 	var f units.Bytes
-	for _, cs := range c.carts {
-		f += cs.free()
+	for _, id := range c.cartIDs {
+		f += c.carts[id].free()
 	}
 	return f
 }

@@ -176,6 +176,6 @@ func (s *System) Shuttle(opt ShuttleOptions) (ShuttleResult, error) {
 	}
 	res.Duration = s.Engine.Now() - start
 	res.Energy = s.stats.Energy - startEnergy
-	res.BytesDelivered = units.Bytes(float64(deliveries)) * capB
+	res.BytesDelivered = units.Bytes(float64(deliveries) * float64(capB))
 	return res, nil
 }

@@ -46,6 +46,11 @@ type Options struct {
 	// Seed drives the failure-injection RNG; simulations are deterministic
 	// for a fixed seed.
 	Seed int64
+	// RNG, when non-nil, overrides Seed with an injected generator so a
+	// caller can thread one seeded *rand.Rand through a whole scenario.
+	// The system owns the generator for its lifetime; it must not be
+	// shared with concurrent users.
+	RNG *rand.Rand
 	// Wear, if non-nil, tracks connector mating cycles per cart (§VI
 	// connector longevity); carts due for service are re-connectored at
 	// the library, paying the connector's replacement downtime.
@@ -169,6 +174,10 @@ func New(opt Options) (*System, error) {
 		return nil, fmt.Errorf("dhlsys: %d library slots cannot hold %d carts",
 			opt.LibrarySlots, opt.NumCarts)
 	}
+	rng := opt.RNG
+	if rng == nil {
+		rng = rand.New(rand.NewSource(opt.Seed))
+	}
 	s := &System{
 		Engine: sim.New(),
 		opt:    opt,
@@ -177,7 +186,7 @@ func New(opt Options) (*System, error) {
 		dock:   dock,
 		lib:    track.NewLibrary(opt.LibrarySlots),
 		carts:  make(map[track.CartID]*Cart),
-		rng:    rand.New(rand.NewSource(opt.Seed)),
+		rng:    rng,
 	}
 	for i := 0; i < opt.NumCarts; i++ {
 		id := track.CartID(i)

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Goroutine keeps concurrency where the determinism story can see it.
+// The sweep worker pool is the one place the repository spawns
+// goroutines on the model path; stray `go` statements elsewhere reorder
+// float accumulations and interleave output. The rule also catches the
+// classic WaitGroup race — calling Add inside the spawned closure, after
+// Wait may already have returned.
+var Goroutine = &Analyzer{
+	Name: "goroutine",
+	Doc:  "no go statements outside the sweep pool; WaitGroup.Add before the go statement",
+	Run:  runGoroutine,
+}
+
+func runGoroutine(p *Pass) {
+	allowedPkg := p.Cfg.goroutineAllowed(p.Pkg.ImportPath)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !allowedPkg {
+				p.Report(g.Pos(), "goroutine outside the sweep worker pool; route concurrency through internal/sweep or justify with an allow")
+			}
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				p.checkAddInClosure(lit)
+			}
+			return true
+		})
+	}
+}
+
+// checkAddInClosure flags sync.WaitGroup.Add calls lexically inside a
+// goroutine's closure: Add must happen-before the go statement or Wait
+// can return early.
+func (p *Pass) checkAddInClosure(lit *ast.FuncLit) {
+	info := p.Pkg.Info
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Name() != "Add" {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		if isWaitGroup(sig.Recv().Type()) {
+			p.Report(call.Pos(), "WaitGroup.Add inside the spawned goroutine races with Wait; call Add before the go statement")
+		}
+		return true
+	})
+}
+
+func isWaitGroup(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

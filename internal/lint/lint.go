@@ -1,0 +1,269 @@
+// Package lint is the repository's domain-specific static-analysis engine
+// (`dhllint`). It loads every package in the module with go/parser + go/types
+// — pure stdlib, no external analysis frameworks — and runs a suite of
+// analyzers that enforce the invariants the reproduction's byte-identity
+// guarantees silently depend on:
+//
+//   - determinism: no wall clock, global-source randomness, or environment
+//     reads in model code (injected clocks and seeded *rand.Rand only);
+//   - maporder: no map-iteration order leaking into output, returned slices,
+//     or floating-point accumulations;
+//   - unitsafety: no dimension-bending conversions or same-unit products
+//     that bypass the internal/units typed quantities;
+//   - floateq: no exact ==/!= between computed floats;
+//   - goroutine: no goroutines outside the sweep worker pool, and no
+//     WaitGroup.Add racing inside a spawned closure.
+//
+// False positives are silenced in place with a justified escape hatch:
+//
+//	//dhllint:allow <rule>[,<rule>...] -- <why this is safe>
+//
+// on the flagged line or the line directly above it. An allow comment with
+// no justification is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressable as file:line:col.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic in the conventional compiler format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Config controls which analyzers run and where each rule applies.
+type Config struct {
+	// ModuleRoot is the directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module's import path (e.g. "repro").
+	ModulePath string
+	// Enabled restricts the rule set; nil enables every analyzer.
+	Enabled map[string]bool
+	// ModelPackages are the import-path prefixes subject to the
+	// determinism rule (model code must not read clocks, global RNGs, or
+	// the environment).
+	ModelPackages []string
+	// GoroutineAllowed lists import paths where `go` statements are
+	// permitted (the sweep worker pool owns repository concurrency).
+	GoroutineAllowed []string
+	// UnitsPackage is the typed-quantities package; the unitsafety rule
+	// is suspended inside it (it defines the legal conversions).
+	UnitsPackage string
+}
+
+// DefaultConfig is the repository policy for a module rooted at root.
+func DefaultConfig(root, modpath string) Config {
+	model := []string{"physics", "core", "storage", "cart", "netmodel", "sim", "sweep", "fleet", "astra"}
+	prefixes := make([]string, len(model))
+	for i, m := range model {
+		prefixes[i] = modpath + "/internal/" + m
+	}
+	return Config{
+		ModuleRoot:       root,
+		ModulePath:       modpath,
+		ModelPackages:    prefixes,
+		GoroutineAllowed: []string{modpath + "/internal/sweep"},
+		UnitsPackage:     modpath + "/internal/units",
+	}
+}
+
+func (c *Config) ruleEnabled(rule string) bool {
+	if c.Enabled == nil {
+		return true
+	}
+	return c.Enabled[rule]
+}
+
+func (c *Config) isModelPackage(path string) bool {
+	for _, p := range c.ModelPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Config) goroutineAllowed(path string) bool {
+	for _, p := range c.GoroutineAllowed {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	// Name is the rule identifier used in diagnostics, flags, and
+	// //dhllint:allow comments.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects a type-checked package and reports through the pass.
+	Run func(*Pass)
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, MapOrder, UnitSafety, FloatEq, Goroutine}
+}
+
+// Pass hands one type-checked package to one analyzer.
+type Pass struct {
+	Cfg *Config
+	Pkg *Package
+
+	rule   string
+	allows *allowIndex
+	out    *[]Diagnostic
+}
+
+// Report files a diagnostic at pos unless an in-scope //dhllint:allow
+// comment suppresses it.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.allows.allowed(position.Filename, position.Line, p.rule) {
+		return
+	}
+	*p.out = append(*p.out, Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// LintPackage runs every enabled analyzer over one loaded package and
+// returns its diagnostics sorted by position.
+func LintPackage(cfg *Config, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	allows := buildAllowIndex(pkg, cfg, &out)
+	for _, a := range All() {
+		if !cfg.ruleEnabled(a.Name) {
+			continue
+		}
+		a.Run(&Pass{Cfg: cfg, Pkg: pkg, rule: a.Name, allows: allows, out: &out})
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// Run loads each import path with a shared loader, lints it, and returns
+// all diagnostics sorted by position.
+func Run(cfg Config, importPaths []string) ([]Diagnostic, error) {
+	ld := NewLoader(cfg.ModuleRoot, cfg.ModulePath)
+	var out []Diagnostic
+	for _, ip := range importPaths {
+		pkg, err := ld.Load(ip)
+		if err != nil {
+			return nil, fmt.Errorf("lint: load %s: %w", ip, err)
+		}
+		out = append(out, LintPackage(&cfg, pkg)...)
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// allowIndex records, per file and line, which rules an escape-hatch
+// comment suppresses. A diagnostic is suppressed by an allow on its own
+// line or on the line directly above.
+type allowIndex struct {
+	byFile map[string]map[int]map[string]bool
+}
+
+const allowPrefix = "dhllint:allow"
+
+func buildAllowIndex(pkg *Package, cfg *Config, out *[]Diagnostic) *allowIndex {
+	idx := &allowIndex{byFile: make(map[string]map[int]map[string]bool)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				rules, reason, _ := strings.Cut(rest, " ")
+				position := pkg.Fset.Position(c.Pos())
+				if strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(reason), "--")) == "" {
+					if cfg.ruleEnabled("allow") {
+						*out = append(*out, Diagnostic{
+							File:    position.Filename,
+							Line:    position.Line,
+							Col:     position.Column,
+							Rule:    "allow",
+							Message: "dhllint:allow needs a justification: //dhllint:allow <rule> -- <why this is safe>",
+						})
+					}
+					continue
+				}
+				lines := idx.byFile[position.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx.byFile[position.Filename] = lines
+				}
+				set := lines[position.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[position.Line] = set
+				}
+				for _, r := range strings.Split(rules, ",") {
+					if r = strings.TrimSpace(r); r != "" {
+						set[r] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (a *allowIndex) allowed(file string, line int, rule string) bool {
+	lines := a.byFile[file]
+	if lines == nil {
+		return false
+	}
+	return lines[line][rule] || lines[line-1][rule]
+}
+
+// funcBodies yields every function body in the file together with its
+// declaration context: FuncDecls and package-level FuncLits alike.
+func funcDecls(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			out = append(out, fd)
+		}
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixtureBase = "repro/internal/lint/testdata/src/"
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Clean(filepath.Join(wd, "..", ".."))
+}
+
+// sharedLoader memoizes stdlib type-checking across the whole test run.
+var sharedLoader *Loader
+
+func loader(t *testing.T) *Loader {
+	t.Helper()
+	if sharedLoader == nil {
+		sharedLoader = NewLoader(moduleRoot(t), "repro")
+	}
+	return sharedLoader
+}
+
+// fixtureConfig is the repository policy extended so the determ_*
+// fixture packages count as model code.
+func fixtureConfig(t *testing.T) Config {
+	cfg := DefaultConfig(moduleRoot(t), "repro")
+	cfg.ModelPackages = append(cfg.ModelPackages,
+		fixtureBase+"determ_bad", fixtureBase+"determ_clean", fixtureBase+"determ_allow")
+	return cfg
+}
+
+type diagKey struct {
+	Rule string
+	Line int
+}
+
+func keysOf(ds []Diagnostic) []diagKey {
+	out := make([]diagKey, len(ds))
+	for i, d := range ds {
+		out[i] = diagKey{d.Rule, d.Line}
+	}
+	return out
+}
+
+func sameKeys(a, b []diagKey) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAnalyzersOnFixtures(t *testing.T) {
+	tests := []struct {
+		name    string
+		fixture string
+		mutate  func(*Config)
+		want    []diagKey
+	}{
+		{
+			name: "determinism true positives", fixture: "determ_bad",
+			want: []diagKey{
+				{"determinism", 13}, // time.Now
+				{"determinism", 14}, // rand.Float64
+				{"determinism", 19}, // time.Since
+				{"determinism", 24}, // rand.Intn
+				{"determinism", 29}, // os.Getenv
+			},
+		},
+		{
+			name: "determinism clean seeded rng", fixture: "determ_clean",
+			want: nil,
+		},
+		{
+			name: "determinism scope excludes non-model code", fixture: "determ_bad",
+			mutate: func(c *Config) { c.ModelPackages = nil },
+			want:   nil,
+		},
+		{
+			name: "allow hatch suppresses with justification only", fixture: "determ_allow",
+			want: []diagKey{
+				{"allow", 17},       // bare allow, no reason
+				{"determinism", 18}, // not suppressed by the bare allow
+				{"determinism", 23}, // no allow at all
+			},
+		},
+		{
+			name: "maporder true positives", fixture: "maporder_bad",
+			want: []diagKey{
+				{"maporder", 12}, // fmt output in map order
+				{"maporder", 21}, // returned slice in map order
+				{"maporder", 30}, // float accumulation in map order
+				{"maporder", 39}, // builder output in map order
+			},
+		},
+		{
+			name: "maporder clean idioms", fixture: "maporder_clean",
+			want: nil,
+		},
+		{
+			name: "unitsafety true positives", fixture: "unitsafety_bad",
+			want: []diagKey{
+				{"unitsafety", 10}, // Bytes → Seconds conversion
+				{"unitsafety", 16}, // Seconds × Seconds
+				{"unitsafety", 21}, // BitsPerSecond → Watts conversion
+			},
+		},
+		{
+			name: "unitsafety clean arithmetic", fixture: "unitsafety_clean",
+			want: nil,
+		},
+		{
+			name: "floateq true positives", fixture: "floateq_bad",
+			want: []diagKey{
+				{"floateq", 7},  // float64 ==
+				{"floateq", 15}, // named float type !=
+			},
+		},
+		{
+			name: "floateq clean comparisons", fixture: "floateq_clean",
+			want: nil,
+		},
+		{
+			name: "goroutine true positives", fixture: "goroutine_bad",
+			want: []diagKey{
+				{"goroutine", 12}, // go outside sweep
+				{"goroutine", 13}, // WaitGroup.Add inside closure
+				{"goroutine", 23}, // plain go outside sweep
+			},
+		},
+		{
+			name: "goroutine Add race flagged even in allowed package", fixture: "goroutine_bad",
+			mutate: func(c *Config) {
+				c.GoroutineAllowed = append(c.GoroutineAllowed, fixtureBase+"goroutine_bad")
+			},
+			want: []diagKey{{"goroutine", 13}},
+		},
+		{
+			name: "goroutine clean pool in allowed package", fixture: "goroutine_clean",
+			mutate: func(c *Config) {
+				c.GoroutineAllowed = append(c.GoroutineAllowed, fixtureBase+"goroutine_clean")
+			},
+			want: nil,
+		},
+		{
+			name: "goroutine clean pool still flagged outside allowed set", fixture: "goroutine_clean",
+			want: []diagKey{{"goroutine", 14}},
+		},
+		{
+			name: "rule filter disables analyzer", fixture: "floateq_bad",
+			mutate: func(c *Config) { c.Enabled = map[string]bool{"determinism": true} },
+			want:   nil,
+		},
+		{
+			name: "rule filter keeps selected analyzer", fixture: "floateq_bad",
+			mutate: func(c *Config) { c.Enabled = map[string]bool{"floateq": true} },
+			want:   []diagKey{{"floateq", 7}, {"floateq", 15}},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pkg, err := loader(t).Load(fixtureBase + tt.fixture)
+			if err != nil {
+				t.Fatalf("load %s: %v", tt.fixture, err)
+			}
+			cfg := fixtureConfig(t)
+			if tt.mutate != nil {
+				tt.mutate(&cfg)
+			}
+			got := LintPackage(&cfg, pkg)
+			if !sameKeys(keysOf(got), tt.want) {
+				t.Errorf("diagnostics = %v, want %v\nfull: %v", keysOf(got), tt.want, got)
+			}
+		})
+	}
+}
+
+func TestRunAggregatesAndSorts(t *testing.T) {
+	cfg := fixtureConfig(t)
+	diags, err := Run(cfg, []string{fixtureBase + "unitsafety_bad", fixtureBase + "floateq_bad"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 5 {
+		t.Fatalf("got %d diagnostics, want 5: %v", len(diags), diags)
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Errorf("diagnostics out of order: %v before %v", a, b)
+		}
+	}
+	for _, d := range diags {
+		if d.Col < 1 || d.Line < 1 {
+			t.Errorf("diagnostic missing position: %v", d)
+		}
+		if !strings.Contains(d.String(), d.Rule+":") {
+			t.Errorf("String() misses rule: %q", d.String())
+		}
+	}
+}
+
+func TestModulePackages(t *testing.T) {
+	pkgs, err := ModulePackages(moduleRoot(t), "repro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"repro", "repro/internal/core", "repro/internal/lint", "repro/internal/units", "repro/cmd/dhllint"}
+	have := map[string]bool{}
+	for _, p := range pkgs {
+		have[p] = true
+		if strings.Contains(p, "testdata") {
+			t.Errorf("testdata package leaked into module walk: %s", p)
+		}
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("ModulePackages missing %s", w)
+		}
+	}
+}
+
+// TestRepositoryIsLintClean is the self-hosting gate: the repository must
+// pass its own linter (real violations fixed or justified with an
+// explicit allow). This mirrors the scripts/check.sh tier-2 gate.
+func TestRepositoryIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root := moduleRoot(t)
+	cfg := DefaultConfig(root, "repro")
+	pkgs, err := ModulePackages(root, "repro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(cfg, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%v", d)
+	}
+}

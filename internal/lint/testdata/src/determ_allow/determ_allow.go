@@ -1,0 +1,24 @@
+// Package determallow is a lint fixture for the escape hatch: one
+// justified allow (suppressed), one bare allow (its own diagnostic), and
+// one unsuppressed violation.
+package determallow
+
+import "time"
+
+// WallClock is suppressed by a justified allow on the preceding line.
+func WallClock() time.Time {
+	//dhllint:allow determinism -- fixture: demonstrates the justified escape hatch
+	return time.Now()
+}
+
+// BareAllow has an allow with no justification: the comment itself is an
+// "allow" diagnostic and does NOT suppress the violation.
+func BareAllow() time.Time {
+	//dhllint:allow determinism
+	return time.Now()
+}
+
+// Unsuppressed has no allow at all.
+func Unsuppressed() time.Time {
+	return time.Now()
+}

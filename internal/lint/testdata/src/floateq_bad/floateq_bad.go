@@ -1,0 +1,16 @@
+// Package floateqbad is a lint fixture: exact equality between computed
+// floats.
+package floateqbad
+
+// Converged compares two computed values exactly.
+func Converged(prev, next float64) bool {
+	return prev == next
+}
+
+// Velocity is a named float type, like the units quantities.
+type Velocity float64
+
+// Changed compares named-float values exactly with !=.
+func Changed(a, b Velocity) bool {
+	return a != b
+}

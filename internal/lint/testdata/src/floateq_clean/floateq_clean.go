@@ -1,0 +1,20 @@
+// Package floateqclean is a lint fixture: the approved float
+// comparisons. Zero diagnostics expected.
+package floateqclean
+
+import "math"
+
+// IsZero compares against a constant sentinel: deliberate and legal.
+func IsZero(x float64) bool {
+	return x == 0
+}
+
+// Near compares through a tolerance, the approved helper shape.
+func Near(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+// SameCount is integer equality: not a float comparison at all.
+func SameCount(a, b int) bool {
+	return a == b
+}

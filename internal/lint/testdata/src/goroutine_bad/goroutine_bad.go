@@ -1,0 +1,24 @@
+// Package goroutinebad is a lint fixture: stray concurrency and the
+// classic WaitGroup race.
+package goroutinebad
+
+import "sync"
+
+// FanOut spawns goroutines outside the sweep pool AND calls Add inside
+// the spawned closure, after Wait may already have returned.
+func FanOut(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		go func() {
+			wg.Add(1)
+			defer wg.Done()
+			job()
+		}()
+	}
+	wg.Wait()
+}
+
+// Background launches a plain goroutine.
+func Background(f func()) {
+	go f()
+}

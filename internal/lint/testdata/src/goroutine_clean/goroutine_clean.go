@@ -1,0 +1,20 @@
+// Package goroutineclean is a lint fixture: correct WaitGroup discipline
+// in a package where goroutines are allowed (the test config whitelists
+// this path, as the default config whitelists internal/sweep). Zero
+// diagnostics expected under that config.
+package goroutineclean
+
+import "sync"
+
+// Pool runs jobs with Add called before each go statement.
+func Pool(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			job()
+		}()
+	}
+	wg.Wait()
+}

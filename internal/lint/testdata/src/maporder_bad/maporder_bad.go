@@ -1,0 +1,43 @@
+// Package maporderbad is a lint fixture: map iterations whose order
+// leaks into output, returned slices, or float accumulations.
+package maporderbad
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PrintAll emits one line per entry straight from map order.
+func PrintAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Keys returns the keys in map order: callers see a different slice each
+// run.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Total accumulates floats in map order; addition is not associative.
+func Total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Render writes entries into a builder in map order.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+// Package maporderclean is a lint fixture: map iterations that are
+// order-independent or follow the sorted-key idiom. Zero diagnostics
+// expected.
+package maporderclean
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SortedKeys appends from the map but sorts before returning — the
+// approved deterministic idiom.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count is an integer accumulation: order-independent.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Max is a pure reduction: the result is the same in any order.
+func Max(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// PrintSorted iterates the sorted key slice, not the map.
+func PrintSorted(m map[string]int) {
+	for _, k := range SortedKeys(m) {
+		fmt.Printf("%s=%d\n", k, m[k])
+	}
+}

@@ -1,0 +1,22 @@
+// Package unitsafetybad is a lint fixture: dimension errors that Go's
+// type checker accepts but the unitsafety rule rejects.
+package unitsafetybad
+
+import "repro/internal/units"
+
+// BytesAsSeconds converts bytes straight to seconds: type-checks, always
+// dimensionally wrong (needs a rate).
+func BytesAsSeconds(b units.Bytes) units.Seconds {
+	return units.Seconds(b)
+}
+
+// SquaredTime multiplies two non-constant durations: seconds², not
+// seconds.
+func SquaredTime(a, b units.Seconds) units.Seconds {
+	return a * b
+}
+
+// PowerFromRate relabels a line rate as power.
+func PowerFromRate(r units.BitsPerSecond) units.Watts {
+	return units.Watts(r)
+}

@@ -1,0 +1,26 @@
+// Package unitsafetyclean is a lint fixture: dimensionally sound uses of
+// the typed quantities. Zero diagnostics expected.
+package unitsafetyclean
+
+import "repro/internal/units"
+
+// Scale multiplies by an untyped constant factor: no dimension change.
+func Scale(b units.Bytes) units.Bytes {
+	return 2 * b
+}
+
+// Speedup is the sanctioned dimensionless quotient of a shared unit.
+func Speedup(network, dhl units.Seconds) units.Ratio {
+	return units.Ratio(network / dhl)
+}
+
+// TotalTime does count × duration arithmetic explicitly in float64 with
+// the formula spelled out, then converts the result once.
+func TotalTime(trips int, per units.Seconds) units.Seconds {
+	return units.Seconds(float64(trips) * float64(per))
+}
+
+// Energy uses the units package's own conversion helper.
+func Energy(w units.Watts, t units.Seconds) units.Joules {
+	return units.Energy(w, t)
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UnitSafety guards the internal/units typed quantities that anchor the
+// paper's physics. Go's type checker already rejects mixed-type
+// arithmetic, but two dimension errors still compile:
+//
+//   - a direct conversion between two distinct units types
+//     (units.Seconds(bytes) type-checks and is always wrong — convert
+//     through float64 with the dimensional formula spelled out);
+//   - a product of two non-constant values of the same units type
+//     (Bytes × Bytes is bytes², which no variable in the model holds;
+//     scaling by a count or factor belongs in float64).
+//
+// Quotients of a shared unit are dimensionless and stay legal, as does
+// everything inside the units package itself, which defines the
+// sanctioned conversions.
+var UnitSafety = &Analyzer{
+	Name: "unitsafety",
+	Doc:  "no cross-unit conversions or same-unit products outside internal/units",
+	Run:  runUnitSafety,
+}
+
+func runUnitSafety(p *Pass) {
+	if p.Pkg.ImportPath == p.Cfg.UnitsPackage {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				p.checkUnitConversion(n)
+			case *ast.BinaryExpr:
+				if n.Op != token.MUL {
+					return true
+				}
+				tx, ty := info.Types[n.X], info.Types[n.Y]
+				// Constant factors (2 * units.PB) carry no dimension.
+				if tx.Value != nil || ty.Value != nil {
+					return true
+				}
+				nx := p.namedUnitsType(tx.Type)
+				ny := p.namedUnitsType(ty.Type)
+				if nx != nil && ny != nil && nx.Obj() == ny.Obj() {
+					p.Report(n.OpPos, "%s × %s is not a %s; do the arithmetic in float64 and convert the result",
+						nx.Obj().Name(), ny.Obj().Name(), nx.Obj().Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkUnitConversion flags T2(x) where both T2 and x's type are distinct
+// named types of the units package.
+func (p *Pass) checkUnitConversion(call *ast.CallExpr) {
+	info := p.Pkg.Info
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dst := p.namedUnitsType(tv.Type)
+	if dst == nil {
+		return
+	}
+	src := p.namedUnitsType(info.TypeOf(call.Args[0]))
+	if src == nil || src.Obj() == dst.Obj() {
+		return
+	}
+	// Ratio(a/b) over a shared unit is a legal dimensionless quotient.
+	if dst.Obj().Name() == "Ratio" && isSameUnitQuotient(info, call.Args[0]) {
+		return
+	}
+	p.Report(call.Pos(), "converting %s directly to %s changes dimension; convert through float64 with the formula spelled out",
+		src.Obj().Name(), dst.Obj().Name())
+}
+
+// namedUnitsType returns t's named type if it is declared in the units
+// package, else nil.
+func (p *Pass) namedUnitsType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil || pkg.Path() != p.Cfg.UnitsPackage {
+		return nil
+	}
+	return named
+}
+
+// isSameUnitQuotient reports whether e is a division of two operands of
+// the same type (possibly parenthesised).
+func isSameUnitQuotient(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	be, ok := e.(*ast.BinaryExpr)
+	if !ok || be.Op != token.QUO {
+		return false
+	}
+	tx, ty := info.TypeOf(be.X), info.TypeOf(be.Y)
+	return tx != nil && ty != nil && types.Identical(tx, ty)
+}

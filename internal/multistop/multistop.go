@@ -96,6 +96,7 @@ func New(cfg core.Config, stops []Stop) (*Line, error) {
 	copy(ss, stops)
 	sort.Slice(ss, func(i, j int) bool { return ss[i].Position < ss[j].Position })
 	for i := 1; i < len(ss); i++ {
+		//dhllint:allow floateq -- positions are exact user-specified config values; duplicates mean the same physical stop
 		if ss[i].Position == ss[i-1].Position {
 			return nil, fmt.Errorf("multistop: stops %q and %q share position %v",
 				ss[i-1].Name, ss[i].Name, ss[i].Position)

@@ -42,6 +42,7 @@ func (t *Table) AddRow(cells ...any) {
 // trimFloat renders floats with up to 4 significant decimals, no exponent
 // for table-scale magnitudes.
 func trimFloat(v float64) string {
+	//dhllint:allow floateq -- exact integrality test against Trunc(v) is the point: it picks the %.0f rendering
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		return fmt.Sprintf("%.0f", v)
 	}
@@ -194,9 +195,11 @@ func (p *Plot) Render(w io.Writer) error {
 	if math.IsInf(minX, 1) {
 		return fmt.Errorf("report: plot %q has no data", p.Title)
 	}
+	//dhllint:allow floateq -- min==max detects a degenerate axis where both came from the same single value
 	if minX == maxX {
 		maxX = minX * 10
 	}
+	//dhllint:allow floateq -- min==max detects a degenerate axis where both came from the same single value
 	if minY == maxY {
 		maxY = minY * 10
 	}

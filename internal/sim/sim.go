@@ -33,8 +33,11 @@ type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
+	if h[i].Time < h[j].Time {
+		return true
+	}
+	if h[j].Time < h[i].Time {
+		return false
 	}
 	return h[i].seq < h[j].seq
 }

@@ -86,7 +86,7 @@ func (h HumanCourier) Carry(dataset units.Bytes, drive storage.DeviceSpec, dista
 	// Each trip is a loaded walk out and an empty walk back.
 	walk := units.Seconds(2 * float64(distance) / float64(h.WalkingSpeed))
 	perTripTime := walk + h.HandlingPerTrip
-	total := units.Seconds(float64(trips)) * perTripTime
+	total := units.Seconds(float64(trips) * float64(perTripTime))
 	return CarryResult{
 		Drives:          drives,
 		Trips:           trips,
@@ -148,7 +148,7 @@ func (t Truck) Ship(dataset units.Bytes, distance units.Metres) (ShipResult, err
 	fill := t.LoadRate.TransferTime(perShipment)
 	drive := units.Seconds(2 * float64(distance) / float64(t.Speed)) // return empty
 	per := 2*fill + drive                                            // fill + drive + drain
-	total := units.Seconds(float64(shipments)) * per
+	total := units.Seconds(float64(shipments) * float64(per))
 	return ShipResult{
 		Shipments:  shipments,
 		Time:       total,

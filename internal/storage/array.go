@@ -100,7 +100,7 @@ func (a *Array) dataDevices() int {
 
 // Capacity is the usable payload capacity.
 func (a *Array) Capacity() units.Bytes {
-	return units.Bytes(float64(a.dataDevices())) * a.Devices[0].Spec.Capacity
+	return units.Bytes(float64(a.dataDevices()) * float64(a.Devices[0].Spec.Capacity))
 }
 
 // Used is the payload bytes stored.
@@ -110,7 +110,7 @@ func (a *Array) Used() units.Bytes {
 		u += d.Used()
 	}
 	if a.Level == RAID5 {
-		u = u * units.Bytes(float64(a.dataDevices())) / units.Bytes(float64(len(a.Devices)))
+		u = units.Bytes(float64(u) * float64(a.dataDevices()) / float64(len(a.Devices)))
 	}
 	return u
 }

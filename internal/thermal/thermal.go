@@ -124,7 +124,7 @@ func Analyze(c CartThermals) (Analysis, error) {
 	}
 	full := storage.MaxPowerM2
 	a := Analysis{
-		TotalHeat:      units.Watts(float64(c.NumSSDs)) * full,
+		TotalHeat:      units.Watts(float64(c.NumSSDs) * float64(full)),
 		SteadyTemp:     c.Sink.SteadyTemp(full, c.Ambient),
 		TimeToThrottle: c.Sink.TimeToThrottle(full, c.Ambient),
 	}

@@ -71,7 +71,7 @@ func (p PhysicsBurst) Generate() (Trace, error) {
 	tr := make(Trace, p.Bursts)
 	for i := range tr {
 		tr[i] = Transfer{
-			At:    units.Seconds(float64(i)) * p.Period,
+			At:    units.Seconds(float64(i) * float64(p.Period)),
 			Size:  size,
 			Label: fmt.Sprintf("experiment-%d", i),
 		}
@@ -98,18 +98,27 @@ func DefaultBulkBackup() BulkBackup {
 
 // Generate builds the trace deterministically from the seed.
 func (b BulkBackup) Generate() (Trace, error) {
+	return b.GenerateWith(rand.New(rand.NewSource(b.Seed)))
+}
+
+// GenerateWith builds the trace drawing jitter from an injected generator,
+// for callers that thread one seeded *rand.Rand through a whole scenario.
+// Passing rand.New(rand.NewSource(b.Seed)) reproduces Generate exactly.
+func (b BulkBackup) GenerateWith(rng *rand.Rand) (Trace, error) {
+	if rng == nil {
+		return nil, errors.New("workload: nil random generator")
+	}
 	if b.MeanSize <= 0 || b.Period <= 0 || b.Count < 1 {
 		return nil, errors.New("workload: backup parameters must be positive")
 	}
 	if b.Jitter < 0 || b.Jitter >= 1 {
 		return nil, fmt.Errorf("workload: jitter must be in [0,1), got %v", b.Jitter)
 	}
-	rng := rand.New(rand.NewSource(b.Seed))
 	tr := make(Trace, b.Count)
 	for i := range tr {
 		f := 1 + b.Jitter*(2*rng.Float64()-1)
 		tr[i] = Transfer{
-			At:    units.Seconds(float64(i)) * b.Period,
+			At:    units.Seconds(float64(i) * float64(b.Period)),
 			Size:  units.Bytes(float64(b.MeanSize) * f),
 			Label: fmt.Sprintf("backup-%d", i),
 		}
@@ -142,7 +151,7 @@ func (m MLEpochs) Generate() (Trace, error) {
 	tr := make(Trace, m.Models)
 	for i := range tr {
 		tr[i] = Transfer{
-			At:    units.Seconds(float64(i)) * m.Gap,
+			At:    units.Seconds(float64(i) * float64(m.Gap)),
 			Size:  m.Dataset,
 			Label: fmt.Sprintf("model-%d", i),
 		}

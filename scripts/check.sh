@@ -21,7 +21,10 @@ fi
 echo "== go build ./..."
 go build ./...
 
+echo "== dhllint ./..."
+go run ./cmd/dhllint ./...
+
 echo "== go test -race ./..."
 go test -race ./...
 
-echo "OK: vet, gofmt, build, race-clean tests"
+echo "OK: vet, gofmt, build, dhllint, race-clean tests"

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Run dhllint over the whole module.
+#
+# Usage:
+#   scripts/lint.sh            # human-readable file:line:col output
+#   scripts/lint.sh -json      # machine-readable report on stdout
+#   scripts/lint.sh -rules determinism,floateq
+#
+# All flags are forwarded to cmd/dhllint; see `go run ./cmd/dhllint -list`
+# for the rule set. Exit status: 0 clean, 1 issues found, 2 driver error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec go run ./cmd/dhllint "$@" ./...
