@@ -1,6 +1,8 @@
 // Command dhllint runs the repository's domain-specific static analyzers
 // (internal/lint) over the module: determinism, map-order, unit-safety,
-// float-equality, and goroutine-hygiene rules, pure stdlib end to end.
+// dimensional-flow, float-equality, and goroutine-hygiene rules, plus the
+// interprocedural purity pass over the module call graph — pure stdlib end
+// to end.
 //
 // Usage:
 //
@@ -9,17 +11,24 @@
 //	go run ./cmd/dhllint -json ./...       # machine-readable report
 //	go run ./cmd/dhllint -rules determinism,maporder ./...
 //	go run ./cmd/dhllint -disable floateq ./...
+//	go run ./cmd/dhllint -graph ./...      # dump the call graph and exit
+//	go run ./cmd/dhllint -j 4 ./...        # bound the analysis worker pool
 //
 // Exit status: 0 clean, 1 diagnostics found, 2 usage or load error.
-// Suppress a finding in place with a justified escape hatch:
+// Interprocedural findings carry the full source→sink call chain, in the
+// message and in the JSON "chain" field. Suppress a finding in place with
+// a justified escape hatch:
 //
 //	//dhllint:allow <rule> -- <why this is safe>
+//
+// An allow that suppresses nothing is itself reported (rule unusedallow).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -36,45 +45,64 @@ type report struct {
 }
 
 func main() {
-	os.Exit(run())
+	os.Exit(runCLI(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+// runCLI is main with the process edges injected, so tests can drive the
+// whole command without forking.
+func runCLI(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dhllint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		jsonOut = flag.Bool("json", false, "emit a JSON report instead of file:line:col lines")
-		rules   = flag.String("rules", "", "comma-separated rules to run (default: all)")
-		disable = flag.String("disable", "", "comma-separated rules to skip")
-		list    = flag.Bool("list", false, "list available rules and exit")
+		jsonOut = fs.Bool("json", false, "emit a JSON report instead of file:line:col lines")
+		rules   = fs.String("rules", "", "comma-separated rules to run (default: all)")
+		disable = fs.String("disable", "", "comma-separated rules to skip")
+		list    = fs.Bool("list", false, "list available rules and exit")
+		graph   = fs.Bool("graph", false, "dump the module call graph and exit")
+		workers = fs.Int("j", 0, "analysis workers (0 = GOMAXPROCS)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		for _, a := range lint.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		for _, r := range lint.Rules() {
+			fmt.Fprintf(stdout, "%-12s %s\n", r.Name, r.Doc)
 		}
 		return 0
 	}
 
 	root, modpath, err := findModule()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dhllint:", err)
+		fmt.Fprintln(stderr, "dhllint:", err)
 		return 2
 	}
 	cfg := lint.DefaultConfig(root, modpath)
+	cfg.Workers = *workers
 	if cfg.Enabled, err = ruleSet(*rules, *disable); err != nil {
-		fmt.Fprintln(os.Stderr, "dhllint:", err)
+		fmt.Fprintln(stderr, "dhllint:", err)
 		return 2
 	}
 
-	paths, err := targetPaths(flag.Args(), root, modpath)
+	paths, err := targetPaths(fs.Args(), root, modpath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dhllint:", err)
+		fmt.Fprintln(stderr, "dhllint:", err)
 		return 2
+	}
+
+	if *graph {
+		g, err := lint.Graph(cfg, paths)
+		if err != nil {
+			fmt.Fprintln(stderr, "dhllint:", err)
+			return 2
+		}
+		g.Dump(stdout)
+		return 0
 	}
 
 	diags, err := lint.Run(cfg, paths)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dhllint:", err)
+		fmt.Fprintln(stderr, "dhllint:", err)
 		return 2
 	}
 	for i := range diags {
@@ -91,18 +119,18 @@ func run() int {
 		for _, d := range diags {
 			r.Counts[d.Rule]++
 		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(r); err != nil {
-			fmt.Fprintln(os.Stderr, "dhllint:", err)
+			fmt.Fprintln(stderr, "dhllint:", err)
 			return 2
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 		if len(diags) > 0 {
-			fmt.Printf("dhllint: %d issue(s)\n", len(diags))
+			fmt.Fprintf(stdout, "dhllint: %d issue(s)\n", len(diags))
 		}
 	}
 	if len(diags) > 0 {
@@ -112,12 +140,13 @@ func run() int {
 }
 
 // ruleSet resolves -rules/-disable into the config's Enabled map,
-// rejecting unknown rule names. "allow" (the justification check on
-// escape-hatch comments) is always a valid name.
+// rejecting unknown rule names. The name set is lint.Rules(): the
+// analyzers plus the module-level passes (purity, unusedallow) and the
+// "allow" justification check.
 func ruleSet(rules, disable string) (map[string]bool, error) {
-	known := map[string]bool{"allow": true}
-	for _, a := range lint.All() {
-		known[a.Name] = true
+	known := map[string]bool{}
+	for _, r := range lint.Rules() {
+		known[r.Name] = true
 	}
 	check := func(names []string) error {
 		for _, n := range names {

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixtureDir = "../../internal/lint/testdata/src"
+
+func run(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = runCLI(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListRules(t *testing.T) {
+	code, out, _ := run(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, rule := range []string{"determinism", "maporder", "unitsafety", "dimflow",
+		"floateq", "goroutine", "purity", "unusedallow", "allow"} {
+		if !strings.Contains(out, rule) {
+			t.Errorf("-list misses rule %q:\n%s", rule, out)
+		}
+	}
+}
+
+func TestFlagErrorsExitTwo(t *testing.T) {
+	if code, _, _ := run(t, "-nonsense"); code != 2 {
+		t.Errorf("unknown flag exited %d, want 2", code)
+	}
+	if code, _, stderr := run(t, "-rules", "nope", "."); code != 2 || !strings.Contains(stderr, "unknown rule") {
+		t.Errorf("unknown -rules name: exit %d, stderr %q; want 2 and a mention", code, stderr)
+	}
+	if code, _, stderr := run(t, "-disable", "nope", "."); code != 2 || !strings.Contains(stderr, "unknown rule") {
+		t.Errorf("unknown -disable name: exit %d, stderr %q; want 2 and a mention", code, stderr)
+	}
+}
+
+func TestExitCodeGating(t *testing.T) {
+	code, out, _ := run(t, "-rules", "floateq", filepath.Join(fixtureDir, "floateq_bad"))
+	if code != 1 {
+		t.Errorf("findings exited %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "issue(s)") {
+		t.Errorf("text mode misses the summary line:\n%s", out)
+	}
+	code, out, _ = run(t, "-rules", "floateq", filepath.Join(fixtureDir, "floateq_clean"))
+	if code != 0 {
+		t.Errorf("clean package exited %d, want 0\n%s", code, out)
+	}
+}
+
+// TestJSONExitCode pins the gate the shell wrapper relies on: -json mode
+// must still exit non-zero when there are findings.
+func TestJSONExitCode(t *testing.T) {
+	code, out, _ := run(t, "-json", "-rules", "floateq", filepath.Join(fixtureDir, "floateq_bad"))
+	if code != 1 {
+		t.Errorf("-json with findings exited %d, want 1\n%s", code, out)
+	}
+	code, _, _ = run(t, "-json", "-rules", "floateq", filepath.Join(fixtureDir, "floateq_clean"))
+	if code != 0 {
+		t.Errorf("-json clean exited %d, want 0", code)
+	}
+}
+
+// TestJSONGolden locks the report schema byte for byte.
+func TestJSONGolden(t *testing.T) {
+	_, out, _ := run(t, "-json", "-rules", "floateq", filepath.Join(fixtureDir, "floateq_bad"))
+	golden := filepath.Join("testdata", "floateq_bad.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with: go run ./cmd/dhllint -json -rules floateq %s > %s)",
+			err, filepath.Join(fixtureDir, "floateq_bad"), golden)
+	}
+	if out != string(want) {
+		t.Errorf("JSON report drifted from %s.\ngot:\n%s\nwant:\n%s", golden, out, want)
+	}
+	var r report
+	if err := json.Unmarshal([]byte(out), &r); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if r.Total != len(r.Diagnostics) || r.Counts["floateq"] != r.Total {
+		t.Errorf("report totals inconsistent: %+v", r)
+	}
+}
+
+func TestGraphDumpFlag(t *testing.T) {
+	code, out, stderr := run(t, "-graph",
+		filepath.Join(fixtureDir, "purity_helpers"), filepath.Join(fixtureDir, "purity_bad"))
+	if code != 0 {
+		t.Fatalf("-graph exited %d: %s", code, stderr)
+	}
+	if !strings.HasPrefix(out, "# call graph: ") {
+		t.Errorf("-graph misses the summary header:\n%s", out)
+	}
+	for _, frag := range []string{".Stamp -> ", "=> time.Now (wall clock)"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("-graph dump misses %q:\n%s", frag, out)
+		}
+	}
+}

@@ -16,7 +16,7 @@ import (
 // per-iteration model to whole training runs and dollar costs.
 
 // ElectricityUSDPerKWh is a typical industrial electricity price.
-const ElectricityUSDPerKWh = 0.10
+const ElectricityUSDPerKWh units.USDPerKWh = 0.10
 
 // ComputeClusterPower is the power draw of the training supercomputer
 // itself (independent of the communication substrate). A DGX-class 16-node
@@ -69,9 +69,7 @@ func (t TrainingRun) Evaluate(tr Transport) (RunCost, error) {
 	// draws its power for the whole iteration.
 	commE := units.Energy(it.Power, units.Seconds(n*float64(it.Ingest)))
 	compE := units.Energy(ComputeClusterPower, dur)
-	toUSD := func(e units.Joules) units.USD {
-		return units.USD(float64(e) / 3.6e6 * ElectricityUSDPerKWh)
-	}
+	toUSD := ElectricityUSDPerKWh.Cost
 	return RunCost{
 		Transport:       tr.Name(),
 		Duration:        dur,

@@ -122,8 +122,8 @@ func (c *Cart) Capacity() units.Bytes {
 }
 
 // DensityPerGram is bytes stored per gram of cart.
-func (c *Cart) DensityPerGram() units.Bytes {
-	return units.Bytes(float64(c.Capacity()) / float64(c.TotalMass))
+func (c *Cart) DensityPerGram() units.BytesPerGram {
+	return units.BytesPerGram(float64(c.Capacity()) / float64(c.TotalMass))
 }
 
 // NewArray builds the cart's storage array (RAID level and PCIe interface

@@ -17,9 +17,9 @@ import (
 
 // Commodity prices, USD/kg, taken May 2023 (Table VIII).
 const (
-	AluminiumPerKg units.USD = 2.35
-	PVCPerKg       units.USD = 1.20
-	CopperPerKg    units.USD = 8.58
+	AluminiumPerKg units.USDPerKg = 2.35
+	PVCPerKg       units.USDPerKg = 1.20
+	CopperPerKg    units.USDPerKg = 8.58
 )
 
 // Rail material intensities, derived from Table VIII(a): each column of the
@@ -28,17 +28,17 @@ const (
 	// RingMass is one aluminium levitation ring (§V-D: "around 3.62 grams").
 	RingMass units.Grams = 3.62
 	// AluminiumPerMetre: $117 per 100 m at $2.35/kg → 497.9 g/m.
-	AluminiumPerMetre units.Grams = 497.87
+	AluminiumPerMetre units.GramsPerMetre = 497.87
 	// PVCRailPerMetre: $116 per 100 m at $1.20/kg → 966.7 g/m.
-	PVCRailPerMetre units.Grams = 966.67
+	PVCRailPerMetre units.GramsPerMetre = 966.67
 	// PVCTubePerMetre: $500 per 100 m at $1.20/kg → 4.167 kg/m.
-	PVCTubePerMetre units.Grams = 4166.7
+	PVCTubePerMetre units.GramsPerMetre = 4166.7
 	// VFDCost is the variable frequency drive, flat.
 	VFDCost units.USD = 8000
 )
 
 // RingsPerMetre is the aluminium ring pitch implied by the mass intensity.
-func RingsPerMetre() float64 { return float64(AluminiumPerMetre / RingMass) }
+func RingsPerMetre() float64 { return float64(AluminiumPerMetre) / float64(RingMass) }
 
 // copperMassKg maps LIM top speed (m/s) to coil copper mass (kg), inverted
 // from Table VIII(b): $792/$2,904/$6,512 at $8.58/kg.
@@ -77,12 +77,11 @@ type RailCost struct {
 
 // Rail computes the rail materials cost.
 func Rail(length units.Metres) RailCost {
-	m := float64(length)
 	return RailCost{
 		Length:    length,
-		Aluminium: units.USD(AluminiumPerMetre.Kg()*m) * AluminiumPerKg,
-		PVCRail:   units.USD(PVCRailPerMetre.Kg()*m) * PVCPerKg,
-		PVCTube:   units.USD(PVCTubePerMetre.Kg()*m) * PVCPerKg,
+		Aluminium: AluminiumPerKg.Cost(AluminiumPerMetre.Mass(length)),
+		PVCRail:   PVCPerKg.Cost(PVCRailPerMetre.Mass(length)),
+		PVCTube:   PVCPerKg.Cost(PVCTubePerMetre.Mass(length)),
 	}
 }
 
@@ -106,7 +105,7 @@ type LIMCost struct {
 func LIM(topSpeed units.MetresPerSecond) LIMCost {
 	return LIMCost{
 		TopSpeed: topSpeed,
-		Copper:   units.USD(CopperMass(topSpeed).Kg()) * CopperPerKg,
+		Copper:   CopperPerKg.Cost(CopperMass(topSpeed)),
 		VFD:      VFDCost,
 	}
 }

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The call graph is the substrate for the module-level passes: every
+// function declaration in the loaded packages is a node, every static call
+// or reference from one module function to another is an edge, and every
+// reach into ambient state (wall clock, global RNG, environment, an
+// order-sensitive map range) is a taint source pinned to the node that
+// contains it. Function literals are attributed to their enclosing
+// declaration, so a source inside a closure taints the declaring function.
+//
+// Limitations, by construction: calls through interface methods and
+// function values are not resolved (no edge), so taint does not propagate
+// through them — the intra-package determinism rule still catches direct
+// ambient reads wherever they occur.
+
+// CallGraph is the module-wide static call graph over the loaded packages.
+type CallGraph struct {
+	cfg   *Config
+	fset  *token.FileSet
+	nodes map[*types.Func]*cgNode
+	order []*cgNode // deterministic: package input order, then position
+}
+
+type cgNode struct {
+	fn      *types.Func
+	pkg     *Package
+	decl    *ast.FuncDecl
+	calls   []cgEdge
+	sources []taintSource
+
+	// BFS state filled in by runPurity: distance to the nearest ambient
+	// source, the next hop toward it, and the source reached.
+	dist   int
+	via    *cgNode
+	source *taintSource
+}
+
+// cgEdge is one static call (or function-value reference) site.
+type cgEdge struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// taintSource is one direct reach into ambient state.
+type taintSource struct {
+	desc string // e.g. "time.Now (wall clock)"
+	rule string // the intra-package rule whose allow also silences this seed
+	pos  token.Pos
+}
+
+// Graph loads the import paths and builds their call graph — the `-graph`
+// debug entry point of cmd/dhllint.
+func Graph(cfg Config, importPaths []string) (*CallGraph, error) {
+	ld := NewLoader(cfg.ModuleRoot, cfg.ModulePath)
+	pkgs := make([]*Package, 0, len(importPaths))
+	for _, ip := range importPaths {
+		pkg, err := ld.Load(ip)
+		if err != nil {
+			return nil, fmt.Errorf("lint: load %s: %w", ip, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return buildCallGraph(&cfg, pkgs), nil
+}
+
+func buildCallGraph(cfg *Config, pkgs []*Package) *CallGraph {
+	g := &CallGraph{cfg: cfg, nodes: make(map[*types.Func]*cgNode)}
+	if len(pkgs) > 0 {
+		g.fset = pkgs[0].Fset
+	}
+	// First pass: one node per function declaration.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, fd := range funcDecls(f) {
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &cgNode{fn: fn, pkg: pkg, decl: fd, dist: -1}
+				g.nodes[fn] = n
+				g.order = append(g.order, n)
+			}
+		}
+	}
+	// Second pass: edges and taint sources from each body.
+	for _, n := range g.order {
+		g.scanBody(n)
+	}
+	return g
+}
+
+// scanBody records, for one function declaration, every call/reference to
+// another module function and every direct ambient-state reach.
+func (g *CallGraph) scanBody(n *cgNode) {
+	info := n.pkg.Info
+	seenEdge := map[*types.Func]map[token.Pos]bool{}
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		fn = fn.Origin()
+		if g.isModuleFunc(fn) {
+			if fn != n.fn { // ignore self-recursion edges
+				if seenEdge[fn] == nil {
+					seenEdge[fn] = map[token.Pos]bool{}
+				}
+				if !seenEdge[fn][id.Pos()] {
+					seenEdge[fn][id.Pos()] = true
+					n.calls = append(n.calls, cgEdge{callee: fn, pos: id.Pos()})
+				}
+			}
+			return true
+		}
+		if desc := ambientSource(fn); desc != "" {
+			n.sources = append(n.sources, taintSource{desc: desc, rule: "determinism", pos: id.Pos()})
+		}
+		return true
+	})
+	// Map ranges whose body is iteration-order-sensitive are ambient
+	// state too: the traversal order changes run to run.
+	for _, r := range orderSensitiveRanges(info, n.decl) {
+		n.sources = append(n.sources, taintSource{
+			desc: fmt.Sprintf("map iteration order (%s)", r.reason),
+			rule: "maporder",
+			pos:  r.pos,
+		})
+	}
+	sort.Slice(n.sources, func(i, j int) bool { return n.sources[i].pos < n.sources[j].pos })
+}
+
+func (g *CallGraph) isModuleFunc(fn *types.Func) bool {
+	path := fn.Pkg().Path()
+	return path == g.cfg.ModulePath || strings.HasPrefix(path, g.cfg.ModulePath+"/")
+}
+
+// ambientSource classifies a non-module function as an ambient-state
+// source, returning a human-readable description or "". The set mirrors
+// the determinism analyzer: wall clock, global math/rand draws, and
+// environment reads. Methods never qualify — a seeded *rand.Rand's Float64
+// is the sanctioned idiom.
+func ambientSource(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return fmt.Sprintf("time.%s (wall clock)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededConstructors[fn.Name()] {
+			return fmt.Sprintf("rand.%s (global random source)", fn.Name())
+		}
+	case "os":
+		switch fn.Name() {
+		case "Getenv", "LookupEnv", "Environ":
+			return fmt.Sprintf("os.%s (environment read)", fn.Name())
+		}
+	}
+	return ""
+}
+
+// shortName renders a function for chains and dumps: the package path with
+// the module prefix trimmed, then the receiver (if any) and name.
+func (g *CallGraph) shortName(fn *types.Func) string {
+	pkgPath := strings.TrimPrefix(fn.Pkg().Path(), g.cfg.ModulePath+"/")
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	return pkgPath + "." + name
+}
+
+// relPos renders pos relative to the module root.
+func (g *CallGraph) relPos(pos token.Pos) string {
+	p := g.fset.Position(pos)
+	file := p.Filename
+	if rel, err := filepath.Rel(g.cfg.ModuleRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s:%d", file, p.Line)
+}
+
+// Dump writes the graph in a stable text form: a summary line, one
+// `caller -> callee (pos)` line per edge, and one `fn => source (pos)`
+// line per ambient seed, all sorted.
+func (g *CallGraph) Dump(w io.Writer) {
+	edges, seeds := 0, 0
+	var lines []string
+	for _, n := range g.order {
+		for _, e := range n.calls {
+			edges++
+			lines = append(lines, fmt.Sprintf("%s -> %s (%s)", g.shortName(n.fn), g.shortName(e.callee), g.relPos(e.pos)))
+		}
+		for _, s := range n.sources {
+			seeds++
+			lines = append(lines, fmt.Sprintf("%s => %s (%s)", g.shortName(n.fn), s.desc, g.relPos(s.pos)))
+		}
+	}
+	sort.Strings(lines)
+	fmt.Fprintf(w, "# call graph: %d functions, %d edges, %d ambient sources\n", len(g.order), edges, seeds)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}

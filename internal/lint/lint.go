@@ -6,10 +6,18 @@
 //
 //   - determinism: no wall clock, global-source randomness, or environment
 //     reads in model code (injected clocks and seeded *rand.Rand only);
+//   - purity: the interprocedural extension of determinism — a module-wide
+//     call graph propagates ambient-state taint transitively, so a model
+//     function that reaches time.Now through two levels of helpers is
+//     flagged with the full call chain;
 //   - maporder: no map-iteration order leaking into output, returned slices,
 //     or floating-point accumulations;
 //   - unitsafety: no dimension-bending conversions or same-unit products
 //     that bypass the internal/units typed quantities;
+//   - dimflow: an intra-function dataflow pass that follows dimensions
+//     through the raw-float64 escape hatch — locals born from unit
+//     conversions carry a dimension vector through + - * / and are checked
+//     at additions and at re-wraps into unit types;
 //   - floateq: no exact ==/!= between computed floats;
 //   - goroutine: no goroutines outside the sweep worker pool, and no
 //     WaitGroup.Add racing inside a spawned closure.
@@ -19,24 +27,33 @@
 //	//dhllint:allow <rule>[,<rule>...] -- <why this is safe>
 //
 // on the flagged line or the line directly above it. An allow comment with
-// no justification is itself a diagnostic.
+// no justification is itself a diagnostic, as is an allow that suppresses
+// no finding (rule "unusedallow") — the hatch cannot silently rot.
 package lint
 
 import (
+	"context"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"sort"
 	"strings"
+
+	"repro/internal/sweep"
 )
 
-// Diagnostic is one finding, addressable as file:line:col.
+// Diagnostic is one finding, addressable as file:line:col. Interprocedural
+// findings (rule "purity") carry the source→sink call chain in Chain.
 type Diagnostic struct {
 	File    string `json:"file"`
 	Line    int    `json:"line"`
 	Col     int    `json:"col"`
 	Rule    string `json:"rule"`
 	Message string `json:"message"`
+	// Chain is the call path from the flagged call site to the ambient
+	// source, one frame per element, innermost last. Empty for
+	// intra-procedural rules.
+	Chain []string `json:"chain,omitempty"`
 }
 
 // String renders the diagnostic in the conventional compiler format.
@@ -53,15 +70,20 @@ type Config struct {
 	// Enabled restricts the rule set; nil enables every analyzer.
 	Enabled map[string]bool
 	// ModelPackages are the import-path prefixes subject to the
-	// determinism rule (model code must not read clocks, global RNGs, or
-	// the environment).
+	// determinism and purity rules (model code must not read clocks,
+	// global RNGs, or the environment — directly or transitively).
 	ModelPackages []string
 	// GoroutineAllowed lists import paths where `go` statements are
 	// permitted (the sweep worker pool owns repository concurrency).
 	GoroutineAllowed []string
-	// UnitsPackage is the typed-quantities package; the unitsafety rule
-	// is suspended inside it (it defines the legal conversions).
+	// UnitsPackage is the typed-quantities package; the unitsafety and
+	// dimflow rules are suspended inside it (it defines the legal
+	// conversions).
 	UnitsPackage string
+	// Workers bounds the per-package analysis pool. 0 selects
+	// GOMAXPROCS; 1 is the sequential reference path. Diagnostics are
+	// deterministic and input-ordered at any setting.
+	Workers int
 }
 
 // DefaultConfig is the repository policy for a module rooted at root.
@@ -105,7 +127,7 @@ func (c *Config) goroutineAllowed(path string) bool {
 	return false
 }
 
-// Analyzer is one named rule.
+// Analyzer is one named intra-package rule.
 type Analyzer struct {
 	// Name is the rule identifier used in diagnostics, flags, and
 	// //dhllint:allow comments.
@@ -116,9 +138,32 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// All returns the full analyzer suite in reporting order.
+// All returns the intra-package analyzer suite in reporting order. The
+// module-level passes (purity, unusedallow) are listed by Rules.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MapOrder, UnitSafety, FloatEq, Goroutine}
+	return []*Analyzer{Determinism, MapOrder, UnitSafety, DimFlow, FloatEq, Goroutine}
+}
+
+// RuleDoc names one rule for listing and flag validation.
+type RuleDoc struct {
+	Name string
+	Doc  string
+}
+
+// Rules returns every rule the engine can report: the intra-package
+// analyzers, the module-level call-graph passes, and the meta rules on the
+// escape hatch itself.
+func Rules() []RuleDoc {
+	var out []RuleDoc
+	for _, a := range All() {
+		out = append(out, RuleDoc{a.Name, a.Doc})
+	}
+	out = append(out,
+		RuleDoc{"purity", "no transitive path from model code to ambient state (call-graph pass)"},
+		RuleDoc{"unusedallow", "no //dhllint:allow comment that suppresses nothing"},
+		RuleDoc{"allow", "every //dhllint:allow carries a -- justification"},
+	)
+	return out
 }
 
 // Pass hands one type-checked package to one analyzer.
@@ -132,10 +177,15 @@ type Pass struct {
 }
 
 // Report files a diagnostic at pos unless an in-scope //dhllint:allow
-// comment suppresses it.
+// comment suppresses it; a suppressing allow is marked used.
 func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.reportChain(pos, nil, format, args...)
+}
+
+func (p *Pass) reportChain(pos token.Pos, chain []string, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
-	if p.allows.allowed(position.Filename, position.Line, p.rule) {
+	if e := p.allows.lookup(position.Filename, position.Line, p.rule); e != nil {
+		e.used = true
 		return
 	}
 	*p.out = append(*p.out, Diagnostic{
@@ -144,38 +194,85 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 		Col:     position.Column,
 		Rule:    p.rule,
 		Message: fmt.Sprintf(format, args...),
+		Chain:   chain,
 	})
 }
 
-// LintPackage runs every enabled analyzer over one loaded package and
-// returns its diagnostics sorted by position.
+// LintPackage runs every enabled analyzer over one loaded package in
+// isolation — including package-scoped unused-allow detection — and returns
+// its diagnostics sorted by position. The module-level purity pass needs
+// the whole call graph and only runs under Run.
 func LintPackage(cfg *Config, pkg *Package) []Diagnostic {
+	allows, out := buildAllowIndex([]*Package{pkg}, cfg)
+	out = append(out, lintPackageWith(cfg, pkg, allows)...)
+	out = append(out, unusedAllowFindings(cfg, allows)...)
+	sortDiagnostics(out)
+	return dedupe(out)
+}
+
+// lintPackageWith runs the intra-package analyzers against a shared allow
+// index. Safe to call concurrently for distinct packages: every mutation
+// (diagnostics, allow used-marking) touches only this package's state.
+func lintPackageWith(cfg *Config, pkg *Package, allows *allowIndex) []Diagnostic {
 	var out []Diagnostic
-	allows := buildAllowIndex(pkg, cfg, &out)
 	for _, a := range All() {
 		if !cfg.ruleEnabled(a.Name) {
 			continue
 		}
 		a.Run(&Pass{Cfg: cfg, Pkg: pkg, rule: a.Name, allows: allows, out: &out})
 	}
-	sortDiagnostics(out)
 	return out
 }
 
-// Run loads each import path with a shared loader, lints it, and returns
-// all diagnostics sorted by position.
+// Run loads each import path with a shared loader, lints the packages on a
+// bounded worker pool, runs the module-level call-graph passes, and returns
+// all diagnostics sorted by position and de-duplicated.
 func Run(cfg Config, importPaths []string) ([]Diagnostic, error) {
 	ld := NewLoader(cfg.ModuleRoot, cfg.ModulePath)
-	var out []Diagnostic
+	return RunWithLoader(cfg, ld, importPaths)
+}
+
+// RunWithLoader is Run against a caller-owned (possibly pre-warmed) loader.
+func RunWithLoader(cfg Config, ld *Loader, importPaths []string) ([]Diagnostic, error) {
+	// Loading is sequential: the loader memoizes recursively and the
+	// dependency graph forces most of the work anyway. Analysis — the
+	// AST/type walks — is the parallel part.
+	pkgs := make([]*Package, 0, len(importPaths))
 	for _, ip := range importPaths {
 		pkg, err := ld.Load(ip)
 		if err != nil {
 			return nil, fmt.Errorf("lint: load %s: %w", ip, err)
 		}
-		out = append(out, LintPackage(&cfg, pkg)...)
+		pkgs = append(pkgs, pkg)
 	}
+
+	allows, out := buildAllowIndex(pkgs, &cfg)
+
+	// Per-package analysis on the sweep worker pool. Results land at
+	// their input index, so diagnostics are ordered and byte-identical
+	// to the sequential path regardless of worker count.
+	perPkg, err := sweep.Map(context.Background(), pkgs,
+		func(_ context.Context, pkg *Package) ([]Diagnostic, error) {
+			return lintPackageWith(&cfg, pkg, allows), nil
+		}, sweep.Workers(cfg.Workers))
+	if err != nil {
+		return nil, err
+	}
+	for _, ds := range perPkg {
+		out = append(out, ds...)
+	}
+
+	// Module-level passes run after the pool: purity needs the whole
+	// call graph, and unusedallow must observe every used-mark,
+	// including those made by purity itself.
+	if cfg.ruleEnabled("purity") {
+		graph := buildCallGraph(&cfg, pkgs)
+		out = append(out, runPurity(&cfg, graph, allows)...)
+	}
+	out = append(out, unusedAllowFindings(&cfg, allows)...)
+
 	sortDiagnostics(out)
-	return out, nil
+	return dedupe(out), nil
 }
 
 func sortDiagnostics(ds []Diagnostic) {
@@ -194,70 +291,173 @@ func sortDiagnostics(ds []Diagnostic) {
 	})
 }
 
+// dedupe collapses diagnostics reported at an identical file:line:col by
+// the same rule (e.g. two call chains through one call site), keeping the
+// first. ds must already be sorted.
+func dedupe(ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	for i, d := range ds {
+		if i > 0 {
+			p := out[len(out)-1]
+			if p.File == d.File && p.Line == d.Line && p.Col == d.Col && p.Rule == d.Rule {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// allowEntry is one (line, rule) suppression granted by a //dhllint:allow
+// comment. used flips when a diagnostic is actually suppressed by it.
+type allowEntry struct {
+	file string
+	line int
+	col  int
+	rule string
+	used bool
+}
+
 // allowIndex records, per file and line, which rules an escape-hatch
 // comment suppresses. A diagnostic is suppressed by an allow on its own
-// line or on the line directly above.
+// line or on the line directly above. The index is built once, before
+// analysis; during the parallel per-package phase each entry is only
+// touched by the worker owning its file's package.
 type allowIndex struct {
-	byFile map[string]map[int]map[string]bool
+	byFile  map[string]map[int]map[string]*allowEntry
+	entries []*allowEntry
 }
 
 const allowPrefix = "dhllint:allow"
 
-func buildAllowIndex(pkg *Package, cfg *Config, out *[]Diagnostic) *allowIndex {
-	idx := &allowIndex{byFile: make(map[string]map[int]map[string]bool)}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
-				if !strings.HasPrefix(text, allowPrefix) {
-					continue
-				}
-				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
-				rules, reason, _ := strings.Cut(rest, " ")
-				position := pkg.Fset.Position(c.Pos())
-				if strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(reason), "--")) == "" {
-					if cfg.ruleEnabled("allow") {
-						*out = append(*out, Diagnostic{
-							File:    position.Filename,
-							Line:    position.Line,
-							Col:     position.Column,
-							Rule:    "allow",
-							Message: "dhllint:allow needs a justification: //dhllint:allow <rule> -- <why this is safe>",
-						})
+// buildAllowIndex scans every file of pkgs for allow comments, returning
+// the index plus the meta diagnostics found while parsing them (missing
+// justification, unknown rule name).
+func buildAllowIndex(pkgs []*Package, cfg *Config) (*allowIndex, []Diagnostic) {
+	known := map[string]bool{}
+	for _, r := range Rules() {
+		known[r.Name] = true
+	}
+	var out []Diagnostic
+	idx := &allowIndex{byFile: make(map[string]map[int]map[string]*allowEntry)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+					if !strings.HasPrefix(text, allowPrefix) {
+						continue
 					}
-					continue
-				}
-				lines := idx.byFile[position.Filename]
-				if lines == nil {
-					lines = make(map[int]map[string]bool)
-					idx.byFile[position.Filename] = lines
-				}
-				set := lines[position.Line]
-				if set == nil {
-					set = make(map[string]bool)
-					lines[position.Line] = set
-				}
-				for _, r := range strings.Split(rules, ",") {
-					if r = strings.TrimSpace(r); r != "" {
-						set[r] = true
+					rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+					rules, reason, _ := strings.Cut(rest, " ")
+					position := pkg.Fset.Position(c.Pos())
+					if strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(reason), "--")) == "" {
+						if cfg.ruleEnabled("allow") {
+							out = append(out, Diagnostic{
+								File:    position.Filename,
+								Line:    position.Line,
+								Col:     position.Column,
+								Rule:    "allow",
+								Message: "dhllint:allow needs a justification: //dhllint:allow <rule> -- <why this is safe>",
+							})
+						}
+						continue
+					}
+					for _, r := range strings.Split(rules, ",") {
+						r = strings.TrimSpace(r)
+						if r == "" {
+							continue
+						}
+						if !known[r] {
+							if cfg.ruleEnabled("allow") {
+								out = append(out, Diagnostic{
+									File:    position.Filename,
+									Line:    position.Line,
+									Col:     position.Column,
+									Rule:    "allow",
+									Message: fmt.Sprintf("dhllint:allow names unknown rule %q", r),
+								})
+							}
+							continue
+						}
+						idx.add(&allowEntry{file: position.Filename, line: position.Line, col: position.Column, rule: r})
 					}
 				}
 			}
 		}
 	}
-	return idx
+	return idx, out
 }
 
-func (a *allowIndex) allowed(file string, line int, rule string) bool {
+func (a *allowIndex) add(e *allowEntry) {
+	lines := a.byFile[e.file]
+	if lines == nil {
+		lines = make(map[int]map[string]*allowEntry)
+		a.byFile[e.file] = lines
+	}
+	set := lines[e.line]
+	if set == nil {
+		set = make(map[string]*allowEntry)
+		lines[e.line] = set
+	}
+	if set[e.rule] == nil {
+		set[e.rule] = e
+		a.entries = append(a.entries, e)
+	}
+}
+
+// lookup returns the allow entry covering a diagnostic for rule at
+// file:line — an allow on the same line wins over one on the line above —
+// or nil if the diagnostic is not suppressed.
+func (a *allowIndex) lookup(file string, line int, rule string) *allowEntry {
 	lines := a.byFile[file]
 	if lines == nil {
-		return false
+		return nil
 	}
-	return lines[line][rule] || lines[line-1][rule]
+	if e := lines[line][rule]; e != nil {
+		return e
+	}
+	return lines[line-1][rule]
 }
 
-// funcBodies yields every function body in the file together with its
-// declaration context: FuncDecls and package-level FuncLits alike.
+// unusedAllowFindings reports every allow entry that suppressed nothing.
+// Only rules that actually ran are considered, so `-rules floateq` does not
+// condemn the determinism allows it never exercised. An unused allow can
+// itself be kept alive with //dhllint:allow unusedallow -- <why>.
+func unusedAllowFindings(cfg *Config, idx *allowIndex) []Diagnostic {
+	if !cfg.ruleEnabled("unusedallow") {
+		return nil
+	}
+	var out []Diagnostic
+	report := func(e *allowEntry) {
+		if cover := idx.lookup(e.file, e.line, "unusedallow"); cover != nil && cover != e {
+			cover.used = true
+			return
+		}
+		out = append(out, Diagnostic{
+			File:    e.file,
+			Line:    e.line,
+			Col:     e.col,
+			Rule:    "unusedallow",
+			Message: fmt.Sprintf("//dhllint:allow %s suppresses no finding; delete it (or justify keeping it with //dhllint:allow unusedallow -- <why>)", e.rule),
+		})
+	}
+	// Two passes: ordinary entries first (their reports may consume an
+	// unusedallow entry), then any unusedallow entries still idle.
+	for _, e := range idx.entries {
+		if e.rule != "unusedallow" && !e.used && cfg.ruleEnabled(e.rule) {
+			report(e)
+		}
+	}
+	for _, e := range idx.entries {
+		if e.rule == "unusedallow" && !e.used {
+			report(e)
+		}
+	}
+	return out
+}
+
+// funcDecls yields every function declaration with a body in the file.
 func funcDecls(f *ast.File) []*ast.FuncDecl {
 	var out []*ast.FuncDecl
 	for _, d := range f.Decls {

@@ -1,8 +1,10 @@
 package lint
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -29,12 +31,14 @@ func loader(t *testing.T) *Loader {
 	return sharedLoader
 }
 
-// fixtureConfig is the repository policy extended so the determ_*
-// fixture packages count as model code.
+// fixtureConfig is the repository policy extended so the determ_* and
+// purity_* fixture packages count as model code (purity_helpers stays a
+// plain utility package on purpose).
 func fixtureConfig(t *testing.T) Config {
 	cfg := DefaultConfig(moduleRoot(t), "repro")
 	cfg.ModelPackages = append(cfg.ModelPackages,
-		fixtureBase+"determ_bad", fixtureBase+"determ_clean", fixtureBase+"determ_allow")
+		fixtureBase+"determ_bad", fixtureBase+"determ_clean", fixtureBase+"determ_allow",
+		fixtureBase+"purity_bad", fixtureBase+"purity_clean", fixtureBase+"purity_allow")
 	return cfg
 }
 
@@ -160,6 +164,39 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			want: []diagKey{{"goroutine", 14}},
 		},
 		{
+			name: "dimflow true positives", fixture: "dimflow_bad",
+			want: []diagKey{
+				{"dimflow", 10}, // bytes + seconds
+				{"dimflow", 16}, // seconds wrapped as power
+				{"dimflow", 23}, // bytes laundered into Ratio
+				{"dimflow", 30}, // kilojoules += hours
+			},
+		},
+		{
+			name: "dimflow clean formulas", fixture: "dimflow_clean",
+			want: nil,
+		},
+		{
+			name: "dimflow allow hatch", fixture: "dimflow_allow",
+			want: []diagKey{
+				{"allow", 18},   // bare allow, no reason
+				{"dimflow", 19}, // not suppressed by the bare allow
+				{"dimflow", 24}, // no allow at all
+			},
+		},
+		{
+			name: "unusedallow true positive", fixture: "unusedallow_bad",
+			want: []diagKey{{"unusedallow", 8}},
+		},
+		{
+			name: "unusedallow clean live allow", fixture: "unusedallow_clean",
+			want: nil,
+		},
+		{
+			name: "unusedallow cover keeps a stale allow alive", fixture: "unusedallow_allow",
+			want: []diagKey{{"unusedallow", 15}}, // the uncovered one
+		},
+		{
 			name: "rule filter disables analyzer", fixture: "floateq_bad",
 			mutate: func(c *Config) { c.Enabled = map[string]bool{"determinism": true} },
 			want:   nil,
@@ -210,6 +247,136 @@ func TestRunAggregatesAndSorts(t *testing.T) {
 		if !strings.Contains(d.String(), d.Rule+":") {
 			t.Errorf("String() misses rule: %q", d.String())
 		}
+	}
+}
+
+// TestPurityTransitiveChains is the interprocedural acceptance case: model
+// code that reaches time.Now only through TWO levels of helpers in a
+// non-model package is flagged, with the full call chain in the
+// diagnostic.
+func TestPurityTransitiveChains(t *testing.T) {
+	cfg := fixtureConfig(t)
+	cfg.Enabled = map[string]bool{"purity": true}
+	diags, err := RunWithLoader(cfg, loader(t), []string{
+		fixtureBase + "purity_helpers", fixtureBase + "purity_bad", fixtureBase + "purity_clean",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []diagKey{
+		{"purity", 11}, // Evaluate → Stamp → clock → time.Now
+		{"purity", 16}, // Total → SumValues → map range
+	}
+	if !sameKeys(keysOf(diags), want) {
+		t.Fatalf("diagnostics = %v, want %v\nfull: %v", keysOf(diags), want, diags)
+	}
+	clock := diags[0]
+	if !strings.Contains(clock.Message, "time.Now (wall clock)") {
+		t.Errorf("chain diagnostic misses the source: %q", clock.Message)
+	}
+	if !strings.Contains(clock.Message, "Stamp → ") || !strings.Contains(clock.Message, "clock → time.Now") {
+		t.Errorf("message misses the rendered chain: %q", clock.Message)
+	}
+	if len(clock.Chain) != 3 {
+		t.Fatalf("Chain = %v, want 3 frames (Stamp, clock, source)", clock.Chain)
+	}
+	for i, frag := range []string{"Stamp", "clock", "time.Now (wall clock)"} {
+		if !strings.Contains(clock.Chain[i], frag) {
+			t.Errorf("Chain[%d] = %q, want it to mention %q", i, clock.Chain[i], frag)
+		}
+	}
+	if !strings.Contains(diags[1].Message, "map iteration order") {
+		t.Errorf("map-order seed missing from %q", diags[1].Message)
+	}
+}
+
+func TestPurityAllowHatch(t *testing.T) {
+	cfg := fixtureConfig(t)
+	cfg.Enabled = map[string]bool{"purity": true, "allow": true, "unusedallow": true}
+	diags, err := RunWithLoader(cfg, loader(t), []string{
+		fixtureBase + "purity_helpers", fixtureBase + "purity_allow",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []diagKey{
+		{"allow", 17},  // bare allow, no reason
+		{"purity", 18}, // not suppressed by the bare allow
+		{"purity", 23}, // no allow at all
+	}
+	if !sameKeys(keysOf(diags), want) {
+		t.Errorf("diagnostics = %v, want %v\nfull: %v", keysOf(diags), want, diags)
+	}
+}
+
+func TestCallGraphDump(t *testing.T) {
+	cfg := fixtureConfig(t)
+	var pkgs []*Package
+	for _, ip := range []string{fixtureBase + "purity_helpers", fixtureBase + "purity_bad"} {
+		pkg, err := loader(t).Load(ip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	var buf bytes.Buffer
+	buildCallGraph(&cfg, pkgs).Dump(&buf)
+	out := buf.String()
+	if !strings.HasPrefix(out, "# call graph: ") {
+		t.Errorf("dump misses the summary header:\n%s", out)
+	}
+	for _, frag := range []string{
+		".Evaluate -> ", ".Stamp -> ", ".clock => time.Now (wall clock)",
+		".SumValues => map iteration order",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("dump misses %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestParallelMatchesSequential pins the satellite guarantee: any worker
+// count yields byte-identical, input-ordered diagnostics.
+func TestParallelMatchesSequential(t *testing.T) {
+	paths := []string{
+		fixtureBase + "determ_bad", fixtureBase + "maporder_bad", fixtureBase + "unitsafety_bad",
+		fixtureBase + "dimflow_bad", fixtureBase + "floateq_bad", fixtureBase + "goroutine_bad",
+		fixtureBase + "purity_helpers", fixtureBase + "purity_bad", fixtureBase + "unusedallow_bad",
+	}
+	cfg := fixtureConfig(t)
+	cfg.Workers = 1
+	seq, err := RunWithLoader(cfg, loader(t), paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) == 0 {
+		t.Fatal("expected findings from the bad fixtures")
+	}
+	for _, workers := range []int{2, 8} {
+		cfg.Workers = workers
+		par, err := RunWithLoader(cfg, loader(t), paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d diverges from sequential:\nseq: %v\npar: %v", workers, seq, par)
+		}
+	}
+}
+
+func TestDedupeCollapsesSameSite(t *testing.T) {
+	ds := []Diagnostic{
+		{File: "a.go", Line: 4, Col: 2, Rule: "purity", Message: "second chain"},
+		{File: "a.go", Line: 4, Col: 2, Rule: "purity", Message: "first chain"},
+		{File: "a.go", Line: 4, Col: 2, Rule: "dimflow", Message: "different rule"},
+	}
+	sortDiagnostics(ds)
+	got := dedupe(ds)
+	if len(got) != 2 {
+		t.Fatalf("dedupe kept %d diagnostics, want 2: %v", len(got), got)
+	}
+	if got[0].Rule != "dimflow" || got[1].Rule != "purity" {
+		t.Errorf("unexpected survivors: %v", got)
 	}
 }
 

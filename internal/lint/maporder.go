@@ -27,16 +27,28 @@ var MapOrder = &Analyzer{
 func runMapOrder(p *Pass) {
 	for _, f := range p.Pkg.Files {
 		for _, fd := range funcDecls(f) {
-			checkFuncMapOrder(p, fd)
+			for _, r := range orderSensitiveRanges(p.Pkg.Info, fd) {
+				p.Report(r.pos, "map iteration order %s; iterate a sorted key slice instead", r.reason)
+			}
 		}
 	}
 }
 
-func checkFuncMapOrder(p *Pass, fd *ast.FuncDecl) {
-	info := p.Pkg.Info
+// rangeFinding is one order-sensitive map range: where it starts and why
+// its body depends on iteration order.
+type rangeFinding struct {
+	pos    token.Pos
+	reason string
+}
+
+// orderSensitiveRanges finds every map range in fd whose body is
+// iteration-order-sensitive. Shared by the maporder analyzer and the call
+// graph, which seeds purity taint at the same constructs.
+func orderSensitiveRanges(info *types.Info, fd *ast.FuncDecl) []rangeFinding {
 	returned := returnedObjects(info, fd)
 	sorted := sortedObjects(info, fd.Body)
 
+	var out []rangeFinding
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		rs, ok := n.(*ast.RangeStmt)
 		if !ok {
@@ -50,10 +62,11 @@ func checkFuncMapOrder(p *Pass, fd *ast.FuncDecl) {
 			return true
 		}
 		if reason := orderSensitive(info, rs.Body, returned, sorted); reason != "" {
-			p.Report(rs.Pos(), "map iteration order %s; iterate a sorted key slice instead", reason)
+			out = append(out, rangeFinding{pos: rs.Pos(), reason: reason})
 		}
 		return true
 	})
+	return out
 }
 
 // returnedObjects collects the variables a function hands back: idents in

@@ -1,0 +1,25 @@
+// Package dimflowallow is a lint fixture for the escape hatch on the
+// dimflow rule: one justified allow (suppressed), one bare allow (its own
+// diagnostic), and one unsuppressed violation.
+package dimflowallow
+
+import "repro/internal/units"
+
+// Calibrated is suppressed by a justified allow: an empirical fit that
+// knowingly absorbs the dimension gap into its constant.
+func Calibrated(b units.Bytes, t units.Seconds) float64 {
+	//dhllint:allow dimflow -- fixture: empirical fit constant absorbs the dimension gap
+	return float64(b) + float64(t)
+}
+
+// BareAllow has an allow with no justification: the comment itself is an
+// "allow" diagnostic and does NOT suppress the violation.
+func BareAllow(b units.Bytes, t units.Seconds) float64 {
+	//dhllint:allow dimflow
+	return float64(b) + float64(t)
+}
+
+// Unsuppressed has no allow at all.
+func Unsuppressed(b units.Bytes, t units.Seconds) float64 {
+	return float64(b) + float64(t)
+}

@@ -1,0 +1,32 @@
+// Package dimflowbad is a lint fixture: dimension errors committed in raw
+// float64, invisible to the type system and to unitsafety, caught by the
+// dimensional-flow pass.
+package dimflowbad
+
+import "repro/internal/units"
+
+// MixedAdd adds bytes to seconds through the float64 escape hatch.
+func MixedAdd(b units.Bytes, t units.Seconds) float64 {
+	return float64(b) + float64(t)
+}
+
+// WrongWrap computes a transfer time (B / (B/s) = s) but wraps it as
+// power.
+func WrongWrap(b units.Bytes, r units.BytesPerSecond) units.Watts {
+	return units.Watts(float64(b) / float64(r))
+}
+
+// RatioOfBytes launders a dimensioned value into a dimensionless ratio
+// through a local.
+func RatioOfBytes(b units.Bytes) units.Ratio {
+	raw := float64(b)
+	return units.Ratio(raw)
+}
+
+// AccumulatorDrift tags values via unit accessors and trips on a compound
+// assignment: kilojoules += hours.
+func AccumulatorDrift(e units.Joules, t units.Seconds) float64 {
+	total := e.KJ()
+	total += t.Hours()
+	return total
+}

@@ -1,0 +1,42 @@
+// Package dimflowclean is a lint fixture: dimensionally sound float64
+// arithmetic downstream of unit conversions. Zero diagnostics expected.
+package dimflowclean
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// TransferPower divides energy by time: a power, wrapped as one.
+func TransferPower(e units.Joules, t units.Seconds) units.Watts {
+	return units.Watts(float64(e) / float64(t))
+}
+
+// BrakingDistance is v²/(2a): a length.
+func BrakingDistance(v units.MetresPerSecond, a units.MetresPerSecond2) units.Metres {
+	return units.Metres(float64(v) * float64(v) / (2 * float64(a)))
+}
+
+// TopSpeed is √(2·a·d): the square root halves the vector back to a
+// speed.
+func TopSpeed(a units.MetresPerSecond2, d units.Metres) units.MetresPerSecond {
+	return units.MetresPerSecond(math.Sqrt(2 * float64(a) * float64(d)))
+}
+
+// Fill accumulates same-dimension floats and re-wraps the total: the
+// accumulator is born free (a bare 0) and adopts the byte dimension at
+// the first +=.
+func Fill(chunks []units.Bytes) units.Bytes {
+	total := 0.0
+	for _, c := range chunks {
+		total += float64(c)
+	}
+	return units.Bytes(total)
+}
+
+// Throughput scales a typed constant: constants of unit type carry their
+// dimension, bare factors are free.
+func Throughput(moved units.Bytes, t units.Seconds) units.BytesPerSecond {
+	return units.BytesPerSecond(1.5 * float64(moved) / float64(t))
+}

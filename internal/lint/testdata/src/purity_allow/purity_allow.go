@@ -1,0 +1,24 @@
+// Package purityallow is a lint fixture for the escape hatch on the
+// purity rule: one justified allow (suppressed), one bare allow (its own
+// diagnostic, suppressing nothing), and one unsuppressed violation.
+package purityallow
+
+import helpers "repro/internal/lint/testdata/src/purity_helpers"
+
+// Logged is suppressed by a justified allow on the preceding line.
+func Logged() int64 {
+	//dhllint:allow purity -- fixture: stamp feeds a log line, never model output
+	return helpers.Stamp()
+}
+
+// BareAllow has an allow with no justification: the comment itself is an
+// "allow" diagnostic and does NOT suppress the violation.
+func BareAllow() int64 {
+	//dhllint:allow purity
+	return helpers.Stamp()
+}
+
+// Unsuppressed has no allow at all.
+func Unsuppressed() int64 {
+	return helpers.Stamp()
+}

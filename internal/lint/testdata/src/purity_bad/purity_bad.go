@@ -1,0 +1,22 @@
+// Package puritybad is a lint fixture: model code that never touches
+// ambient state directly — every violation is transitive, visible only to
+// the call-graph purity pass.
+package puritybad
+
+import helpers "repro/internal/lint/testdata/src/purity_helpers"
+
+// Evaluate reaches time.Now through two levels of helpers:
+// Evaluate → Stamp → clock → time.Now.
+func Evaluate(x float64) float64 {
+	return x + float64(helpers.Stamp())
+}
+
+// Total reaches map-iteration order through a helper.
+func Total(m map[string]float64) float64 {
+	return helpers.SumValues(m)
+}
+
+// Smoothed only uses the pure helper: no diagnostic.
+func Smoothed(x float64) float64 {
+	return helpers.Scale(x)
+}

@@ -1,0 +1,15 @@
+// Package purityclean is a lint fixture: model code that composes pure
+// helpers only. Zero purity diagnostics expected.
+package purityclean
+
+import helpers "repro/internal/lint/testdata/src/purity_helpers"
+
+// Evaluate is a pure function of its inputs.
+func Evaluate(x float64) float64 {
+	return helpers.Scale(x) + 1
+}
+
+// Chain composes pure module calls.
+func Chain(x float64) float64 {
+	return helpers.Scale(helpers.Scale(x))
+}

@@ -1,0 +1,32 @@
+// Package purityhelpers is a lint fixture: a NON-model utility package
+// whose helpers reach ambient state. The intra-package determinism rule
+// stays quiet here by design — the purity pass must catch model code that
+// calls in.
+package purityhelpers
+
+import "time"
+
+// Stamp returns a wall-clock nanosecond stamp through one more level of
+// indirection, so a model caller is two calls away from time.Now.
+func Stamp() int64 {
+	return clock()
+}
+
+func clock() int64 {
+	return time.Now().UnixNano()
+}
+
+// SumValues accumulates map values in iteration order: an ambient source
+// of a different kind (the traversal order changes run to run).
+func SumValues(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Scale is pure: safe to call from model code.
+func Scale(x float64) float64 {
+	return 2 * x
+}

@@ -1,0 +1,17 @@
+// Package unusedallowallow is a lint fixture: an unused allow kept alive
+// deliberately with an unusedallow cover, next to one with no cover.
+package unusedallowallow
+
+// Kept documents a deliberately retained stale allow: the unusedallow
+// cover on the line above suppresses the staleness report.
+func Kept(a, b float64) float64 {
+	//dhllint:allow unusedallow -- fixture: retired comparison documented on purpose
+	//dhllint:allow floateq -- stale but deliberately retained
+	return a + b
+}
+
+// Dangling is still reported: nothing covers the stale allow.
+func Dangling(a, b float64) float64 {
+	//dhllint:allow floateq -- stale with no unusedallow cover
+	return a - b
+}

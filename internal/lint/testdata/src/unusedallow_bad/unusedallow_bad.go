@@ -1,0 +1,10 @@
+// Package unusedallowbad is a lint fixture: a justified allow whose
+// finding was refactored away. The stale hatch is itself a diagnostic.
+package unusedallowbad
+
+// Stale carries an allow that suppresses nothing: the exact comparison it
+// once guarded is gone.
+func Stale(a, b float64) float64 {
+	//dhllint:allow floateq -- stale: the comparison this guarded was refactored away
+	return a + b
+}

@@ -1,0 +1,10 @@
+// Package unusedallowclean is a lint fixture: every allow earns its keep
+// by suppressing a real finding. Zero diagnostics expected.
+package unusedallowclean
+
+// Guarded has a live allow: the exact comparison below would otherwise be
+// a floateq finding.
+func Guarded(a, b float64) bool {
+	//dhllint:allow floateq -- fixture: exact match detects the sentinel duplicate
+	return a == b
+}

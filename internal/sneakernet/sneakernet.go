@@ -25,8 +25,8 @@ type HumanCourier struct {
 	// MetabolicPower while walking loaded, watts (≈400 W for brisk loaded
 	// walking; the joules are food, but they are joules).
 	MetabolicPower units.Watts
-	// HourlyWage in USD.
-	HourlyWage units.USD
+	// HourlyWage in USD per hour.
+	HourlyWage units.USDPerHour
 	// HandlingPerTrip is the load/unload time at each end.
 	HandlingPerTrip units.Seconds
 }
@@ -92,7 +92,7 @@ func (h HumanCourier) Carry(dataset units.Bytes, drive storage.DeviceSpec, dista
 		Trips:           trips,
 		Time:            total,
 		MetabolicEnergy: units.Energy(h.MetabolicPower, total),
-		LaborCost:       units.USD(float64(total) / 3600 * float64(h.HourlyWage)),
+		LaborCost:       h.HourlyWage.Cost(total),
 		Bandwidth:       units.BytesPerSecond(float64(dataset) / float64(total)),
 	}, nil
 }

@@ -69,11 +69,11 @@ func Catalog() []DeviceSpec {
 
 // DensityPerGram is the storage density in bytes per gram — the quantity the
 // paper observes has been "quietly skyrocketing" for M.2 SSDs.
-func (d DeviceSpec) DensityPerGram() units.Bytes {
+func (d DeviceSpec) DensityPerGram() units.BytesPerGram {
 	if d.Mass <= 0 {
-		return units.Bytes(math.Inf(1))
+		return units.BytesPerGram(math.Inf(1))
 	}
-	return units.Bytes(float64(d.Capacity) / float64(d.Mass))
+	return units.BytesPerGram(float64(d.Capacity) / float64(d.Mass))
 }
 
 // DrivesFor returns how many of this device are needed to hold the dataset.

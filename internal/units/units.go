@@ -110,6 +110,7 @@ const (
 	Kilojoule Joules = 1e3
 	Megajoule Joules = 1e6
 	Gigajoule Joules = 1e9
+	KWh       Joules = 3.6e6
 )
 
 // KJ returns the energy in kilojoules.
@@ -282,6 +283,35 @@ func groupThousands(v int64) string {
 	}
 	return string(out)
 }
+
+// BytesPerGram is a storage density — the quantity the paper observes has
+// been "quietly skyrocketing" for M.2 SSDs.
+type BytesPerGram float64
+
+// GramsPerMetre is a linear mass intensity (rail material per metre of
+// track, Table VIII).
+type GramsPerMetre float64
+
+// Mass returns the mass of a length l of material at intensity i.
+func (i GramsPerMetre) Mass(l Metres) Grams { return Grams(float64(i) * float64(l)) }
+
+// USDPerKg is a commodity price rate (Table VIII quotes $/kg).
+type USDPerKg float64
+
+// Cost returns the price of mass m at rate p.
+func (p USDPerKg) Cost(m Grams) USD { return USD(m.Kg() * float64(p)) }
+
+// USDPerHour is a labor price rate.
+type USDPerHour float64
+
+// Cost returns the price of duration t at rate p.
+func (p USDPerHour) Cost(t Seconds) USD { return USD(t.Hours() * float64(p)) }
+
+// USDPerKWh is an electricity price rate.
+type USDPerKWh float64
+
+// Cost returns the price of energy e at rate p.
+func (p USDPerKWh) Cost(e Joules) USD { return USD(float64(e/KWh) * float64(p)) }
 
 // GBPerJoule expresses data-movement efficiency as the paper does (GB/J).
 func GBPerJoule(moved Bytes, spent Joules) float64 {

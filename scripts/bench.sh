@@ -4,15 +4,18 @@
 # best (minimum) ns/op per benchmark alongside B/op and allocs/op. Compare
 # the file against a previous run to spot hot-path regressions.
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_sweep.json)
+# Usage: scripts/bench.sh [output.json] [bench-regex]
+#   scripts/bench.sh                                  # all benches → BENCH_sweep.json
+#   scripts/bench.sh BENCH_lint.json BenchmarkLintModule   # the dhllint engine only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_sweep.json}"
+pattern="${2:-.}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run=NONE -bench=. -benchmem -count=3 . | tee "$raw"
+go test -run=NONE -bench="$pattern" -benchmem -count=3 . | tee "$raw"
 
 awk -v gomaxprocs="$(go env GOMAXPROCS 2>/dev/null || nproc)" '
 /^Benchmark/ {

@@ -5,9 +5,12 @@
 #   scripts/lint.sh            # human-readable file:line:col output
 #   scripts/lint.sh -json      # machine-readable report on stdout
 #   scripts/lint.sh -rules determinism,floateq
+#   scripts/lint.sh -graph     # dump the module call graph
 #
 # All flags are forwarded to cmd/dhllint; see `go run ./cmd/dhllint -list`
-# for the rule set. Exit status: 0 clean, 1 issues found, 2 driver error.
+# for the rule set. Exit status: 0 clean, 1 issues found, 2 driver error —
+# in -json mode too, so CI can gate on the report without parsing it
+# (pinned by TestJSONExitCode in cmd/dhllint).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
