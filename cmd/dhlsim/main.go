@@ -1,21 +1,27 @@
 // Command dhlsim runs the event-driven DHL system simulation: a cart fleet
 // shuttling a dataset between the library and an endpoint through the
 // §III-D software API, with optional endpoint reads, dual-rail operation,
-// and in-flight SSD failure injection.
+// in-flight SSD failure injection, and named chaos scenarios replayed
+// byte-identically from a seed.
 //
 // Usage:
 //
 //	dhlsim [-dataset-pb N] [-carts N] [-docks N] [-dual] [-read]
 //	       [-failure-rate F] [-seed N] [-raid5]
+//	       [-chaos NAME] [-horizon S] [-fault-log] [-strict]
+//	       [-timeout S] [-backoff S] [-failure-sweep R1,R2,...]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dhlsys"
+	"repro/internal/faults"
 	"repro/internal/storage"
 	"repro/internal/track"
 	"repro/internal/units"
@@ -32,8 +38,15 @@ func main() {
 		dual      = flag.Bool("dual", false, "dual-rail track (§VI)")
 		read      = flag.Bool("read", false, "read cart contents at the endpoint (enables pipelining study)")
 		failRate  = flag.Float64("failure-rate", 0, "per-launch probability of an in-flight SSD failure")
-		seed      = flag.Int64("seed", 1, "failure-injection RNG seed")
+		seed      = flag.Int64("seed", 1, "failure-injection and chaos-scenario RNG seed")
 		raid5     = flag.Bool("raid5", false, "use RAID5 cart arrays (tolerates one in-flight failure)")
+		chaos     = flag.String("chaos", "", "named chaos scenario: "+strings.Join(faults.ScenarioNames(), ", "))
+		horizon   = flag.Float64("horizon", 0, "chaos fault horizon in seconds (0 = 1.1× the analytical transfer time)")
+		faultLog  = flag.Bool("fault-log", false, "print the fault event log (byte-identical across replays of a seed)")
+		strict    = flag.Bool("strict", false, "strict SSD mode: a RAID0 SSD failure fails the whole cart instead of degrading reads")
+		timeoutS  = flag.Float64("timeout", 0, "launch timeout in seconds; slower launches report an error (0 = none)")
+		backoffS  = flag.Float64("backoff", 0, "initial delivery retry backoff in seconds, doubling per failure (0 = immediate)")
+		sweepSpec = flag.String("failure-sweep", "", "comma-separated failure rates: print the availability-vs-failure-rate table and exit")
 	)
 	flag.Parse()
 	if *datasetPB <= 0 {
@@ -56,12 +69,39 @@ func main() {
 	opt.DockStations = *docks
 	opt.FailureRate = *failRate
 	opt.Seed = *seed
+	opt.Recovery.StrictSSD = *strict
+	opt.Recovery.LaunchTimeout = units.Seconds(*timeoutS)
+	opt.Recovery.RetryBackoff = units.Seconds(*backoffS)
 	if *dual {
 		opt.RailMode = track.DualRail
 	}
 	if *raid5 {
 		opt.RAID = storage.RAID5
 	}
+
+	an, err := core.Transfer(opt.Core, dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *sweepSpec != "" {
+		failureSweep(opt, dataset, *read, *sweepSpec)
+		return
+	}
+
+	if *chaos != "" {
+		h := units.Seconds(*horizon)
+		if h <= 0 {
+			h = an.Time * 1.1
+		}
+		script, err := faults.Scenario(*chaos, *seed, h,
+			opt.NumCarts, opt.DockStations, opt.Core.Cart.Config.NumSSDs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.Faults = &script
+	}
+
 	sys, err := dhlsys.New(opt)
 	if err != nil {
 		log.Fatal(err)
@@ -75,7 +115,8 @@ func main() {
 
 	fmt.Printf("DHL system simulation: %v over %v (%d carts, %d docks, %v, read=%v)\n",
 		dataset, opt.Core, opt.NumCarts, opt.DockStations, opt.RailMode, *read)
-	fmt.Printf("  deliveries:        %d (+%d retries)\n", res.Deliveries, res.Retries)
+	fmt.Printf("  deliveries:        %d (+%d retries, %d degraded, %d timeouts)\n",
+		res.Deliveries, res.Retries, res.DegradedDeliveries, res.Timeouts)
 	fmt.Printf("  duration:          %v\n", res.Duration)
 	fmt.Printf("  launch energy:     %v\n", res.Energy)
 	fmt.Printf("  effective BW:      %v\n", res.EffectiveBandwidth())
@@ -83,10 +124,66 @@ func main() {
 	fmt.Printf("  bytes read:        %v\n", st.BytesRead)
 	fmt.Printf("  failures injected: %d (API errors reported: %d)\n", st.FailuresSeen, len(res.FailureErrors))
 
-	an, err := core.Transfer(opt.Core, dataset)
-	if err != nil {
-		log.Fatal(err)
+	rep := sys.Report()
+	if *chaos != "" || st.FailuresSeen > 0 {
+		fmt.Printf("\nFault report (%s):\n", scenarioLabel(*chaos))
+		fmt.Printf("  %v\n", rep)
+		fmt.Printf("  degraded launches: %d  stalls: %d (+%vs delay)  reroutes: %d\n",
+			st.DegradedLaunches, st.Stalls, float64(st.StallTime), st.Reroutes)
+		fmt.Printf("  degraded reads:    %d (%v)  backoffs: %d (+%vs wait)\n",
+			st.DegradedReads, st.DegradedBytes, st.Backoffs, float64(st.BackoffWait))
 	}
+	if *faultLog {
+		fmt.Println("\nFault event log:")
+		for _, line := range sys.FaultLog() {
+			fmt.Println("  " + line)
+		}
+	}
+
 	fmt.Printf("\nAnalytical model (sequential, no reads): %v, %v\n", an.Time, an.Energy)
 	fmt.Printf("Simulated vs analytical duration: %.3fx\n", float64(res.Duration)/float64(an.Time))
+}
+
+func scenarioLabel(name string) string {
+	if name == "" {
+		return "stochastic only"
+	}
+	return "scenario " + name
+}
+
+// failureSweep prints the availability-vs-failure-rate table: one fresh
+// deterministic system per rate, same seed.
+func failureSweep(opt dhlsys.Options, dataset units.Bytes, read bool, spec string) {
+	fmt.Printf("Availability vs failure rate: %v, %d carts, %d docks, %v, read=%v, seed=%d\n",
+		dataset, opt.NumCarts, opt.DockStations, opt.RAID, read, opt.Seed)
+	fmt.Printf("%-10s %-12s %-9s %-10s %-10s %-14s %-14s\n",
+		"rate", "deliveries", "retries", "degraded", "failures", "duration-s", "goodput-GB/s")
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		rate, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			log.Fatalf("-failure-sweep: bad rate %q: %v", tok, err)
+		}
+		o := opt
+		o.FailureRate = rate
+		sys, err := dhlsys.New(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Shuttle(dhlsys.ShuttleOptions{Dataset: dataset, ReadAtEndpoint: read})
+		if err != nil {
+			log.Fatalf("rate %v: %v", rate, err)
+		}
+		st := sys.Stats()
+		goodput := float64(st.BytesRead) / float64(res.Duration) / 1e9
+		if !read {
+			goodput = float64(res.BytesDelivered) / float64(res.Duration) / 1e9
+		}
+		fmt.Printf("%-10.3g %-12d %-9d %-10d %-10d %-14.3f %-14.3f\n",
+			rate, res.Deliveries, res.Retries, res.DegradedDeliveries,
+			st.FailuresSeen, float64(res.Duration), goodput)
+	}
 }

@@ -11,11 +11,13 @@ package repro
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/datamap"
 	"repro/internal/dhlsys"
+	"repro/internal/faults"
 	"repro/internal/sweep"
 	"repro/internal/track"
 	"repro/internal/units"
@@ -93,6 +95,110 @@ func TestFailureInjectedShuttleIsByteIdenticalAcrossRuns(t *testing.T) {
 	first, second := run(), run()
 	if first != second {
 		t.Errorf("failure-injected shuttle differs between runs:\n%s\nvs\n%s", first, second)
+	}
+}
+
+func TestDesignSpaceSweepIsWorkerCountInvariant(t *testing.T) {
+	run := func(workers int) string {
+		rows, err := core.DesignSpace(sweep.Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return serialize(t, rows)
+	}
+	serial, parallel := run(1), run(4)
+	if serial != parallel {
+		t.Errorf("design-space sweep differs between 1 and 4 workers:\n%s\nvs\n%s", serial, parallel)
+	}
+}
+
+// chaosRun executes one full chaos shuttle and renders every observable
+// artefact — fault event log, shuttle result, stats, availability report —
+// as one string. Two identical (scenario, seed) runs must agree on every
+// byte of it.
+func chaosRun(t *testing.T, scenario string, seed int64) string {
+	t.Helper()
+	opt := dhlsys.DefaultOptions()
+	opt.Seed = seed
+	script, err := faults.Scenario(scenario, seed, 60,
+		opt.NumCarts, opt.DockStations, opt.Core.Cart.Config.NumSSDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Faults = &script
+	s, err := dhlsys.New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Shuttle(dhlsys.ShuttleOptions{
+		Dataset:        4 * 256 * units.TB,
+		ReadAtEndpoint: true,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", scenario, err)
+	}
+	return fmt.Sprintf("%s\n%+v\n%+v\n%v",
+		strings.Join(s.FaultLog(), "\n"), res, s.Stats(), s.Report())
+}
+
+func TestChaosScenariosAreByteIdenticalAcrossRuns(t *testing.T) {
+	for _, scenario := range faults.ScenarioNames() {
+		first, second := chaosRun(t, scenario, 1337), chaosRun(t, scenario, 1337)
+		if first != second {
+			t.Errorf("chaos scenario %s differs between runs:\n%s\nvs\n%s", scenario, first, second)
+		}
+	}
+}
+
+// TestRandomFaultSchedulesNeverDeadlockDockFIFO is the liveness property
+// behind every recovery policy: whatever fault schedule the scenario
+// generator rolls, the shuttle must still complete every delivery — no
+// schedule may wedge the dock FIFO (Shuttle reports "delivered N of M"
+// when the event queue drains with carts still waiting).
+func TestRandomFaultSchedulesNeverDeadlockDockFIFO(t *testing.T) {
+	configs := []struct {
+		name  string
+		carts int
+		docks int
+		rail  track.RailMode
+	}{
+		{"default", 2, 4, track.SingleRail},
+		{"contended-dual", 4, 2, track.DualRail},
+	}
+	for _, cfg := range configs {
+		for _, scenario := range faults.ScenarioNames() {
+			for seed := int64(1); seed <= 3; seed++ {
+				opt := dhlsys.DefaultOptions()
+				opt.NumCarts = cfg.carts
+				opt.DockStations = cfg.docks
+				opt.RailMode = cfg.rail
+				opt.Seed = seed
+				script, err := faults.Scenario(scenario, seed, 90,
+					opt.NumCarts, opt.DockStations, opt.Core.Cart.Config.NumSSDs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt.Faults = &script
+				s, err := dhlsys.New(opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				const want = 3
+				res, err := s.Shuttle(dhlsys.ShuttleOptions{
+					Dataset:        want * 256 * units.TB,
+					ReadAtEndpoint: true,
+				})
+				if err != nil {
+					t.Errorf("%s/%s seed %d: shuttle did not complete: %v",
+						cfg.name, scenario, seed, err)
+					continue
+				}
+				if res.Deliveries != want {
+					t.Errorf("%s/%s seed %d: %d of %d deliveries",
+						cfg.name, scenario, seed, res.Deliveries, want)
+				}
+			}
+		}
 	}
 }
 

@@ -1,12 +1,17 @@
 package controlplane
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dhlsys"
+	"repro/internal/storage"
+	"repro/internal/track"
 	"repro/internal/units"
 )
 
@@ -213,5 +218,164 @@ func TestMultipleRequestsPerConnection(t *testing.T) {
 		if _, err := c.Status(); err != nil {
 			t.Fatalf("request %d: %v", i, err)
 		}
+	}
+}
+
+func TestErrorCodesStructured(t *testing.T) {
+	_, addr := startServer(t, dhlsys.DefaultOptions())
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resp, err := c.Open(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != CodeUnknownCart {
+		t.Errorf("open(99) code = %q, want %q", resp.Code, CodeUnknownCart)
+	}
+	resp, err = c.Read(0, units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != CodeNotDocked {
+		t.Errorf("read-at-library code = %q, want %q", resp.Code, CodeNotDocked)
+	}
+	resp, err = c.Do(Request{Op: "warp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != CodeBadRequest {
+		t.Errorf("bad op code = %q, want %q", resp.Code, CodeBadRequest)
+	}
+	// Successful ops carry no code.
+	resp, err = c.Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Code != "" {
+		t.Errorf("ok response should have empty code, got %+v", resp)
+	}
+}
+
+func TestCodeForErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{dhlsys.ErrCartFailed, CodeCartFailed},
+		{dhlsys.ErrDegradedRead, CodeDegradedRead},
+		{dhlsys.ErrLaunchTimeout, CodeLaunchTimeout},
+		{track.ErrRailBlocked, CodeRailBlocked},
+		{track.ErrStationFailed, CodeStationFailed},
+		{storage.ErrOutOfRange, CodeStorage},
+		{fmt.Errorf("wrapped: %w", dhlsys.ErrCartBusy), CodeCartBusy},
+		{errors.New("mystery"), CodeError},
+	}
+	for _, c := range cases {
+		if got := CodeForError(c.err); got != c.want {
+			t.Errorf("CodeForError(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestReadDeadlineDropsIdleConnection(t *testing.T) {
+	sys, err := dhlsys.New(dhlsys.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultServerOptions()
+	opt.ReadTimeout = 50 * time.Millisecond
+	srv, err := NewServerWithOptions(sys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Status(); err != nil {
+		t.Fatalf("first request should succeed: %v", err)
+	}
+	// Sit idle past the read deadline; the server must drop us.
+	time.Sleep(150 * time.Millisecond)
+	if _, err := c.Status(); err == nil {
+		t.Error("idle connection should have been dropped by the read deadline")
+	}
+}
+
+func TestGracefulShutdownDrains(t *testing.T) {
+	sys, err := dhlsys.New(dhlsys.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultServerOptions()
+	opt.DrainTimeout = 200 * time.Millisecond
+	srv, err := NewServerWithOptions(sys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A connected-but-idle client must not wedge Close: the drain window
+	// expires and the connection is severed.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Status(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not drain within the timeout")
+	}
+	// New connections are refused after shutdown.
+	if c2, err := Dial(addr); err == nil {
+		if _, err := c2.Status(); err == nil {
+			t.Error("request after shutdown should fail")
+		}
+		c2.Close()
+	}
+}
+
+func TestStatusCarriesAvailability(t *testing.T) {
+	_, addr := startServer(t, dhlsys.DefaultOptions())
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if r, err := c.Open(0); err != nil || !r.OK {
+		t.Fatalf("open: %v %+v", err, r)
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats == nil {
+		t.Fatal("status must include stats")
+	}
+	if st.Stats.Availability != 1 {
+		t.Errorf("availability = %v, want 1 with no faults", st.Stats.Availability)
+	}
+	if st.Stats.FaultsInjected != 0 || st.Stats.DowntimeS != 0 {
+		t.Errorf("fault counters should be zero: %+v", st.Stats)
 	}
 }

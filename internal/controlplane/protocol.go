@@ -58,6 +58,8 @@ func (r Request) Validate() error {
 type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// Code is the structured error code (CodeForError) when OK is false.
+	Code string `json:"code,omitempty"`
 	// SimTime is the simulation clock after the operation, seconds.
 	SimTime float64 `json:"sim_time"`
 	// OpSeconds is the simulated duration of this operation.
@@ -66,7 +68,7 @@ type Response struct {
 	Stats *StatsJSON `json:"stats,omitempty"`
 }
 
-// StatsJSON mirrors dhlsys.Stats for the wire.
+// StatsJSON mirrors dhlsys.Stats plus the availability report for the wire.
 type StatsJSON struct {
 	Launches     int     `json:"launches"`
 	DockOps      int     `json:"dock_ops"`
@@ -76,18 +78,45 @@ type StatsJSON struct {
 	FailuresSeen int     `json:"failures_seen"`
 	Denied       int     `json:"denied"`
 	Queued       int     `json:"queued"`
+	// Fault-recovery counters (§III-D amelioration).
+	DegradedLaunches int     `json:"degraded_launches,omitempty"`
+	DegradedReads    int     `json:"degraded_reads,omitempty"`
+	DegradedBytes    float64 `json:"degraded_bytes,omitempty"`
+	Stalls           int     `json:"stalls,omitempty"`
+	StallTimeS       float64 `json:"stall_time_s,omitempty"`
+	Reroutes         int     `json:"reroutes,omitempty"`
+	Timeouts         int     `json:"timeouts,omitempty"`
+	Backoffs         int     `json:"backoffs,omitempty"`
+	BackoffWaitS     float64 `json:"backoff_wait_s,omitempty"`
+	// Availability summary over the run so far.
+	FaultsInjected int     `json:"faults_injected"`
+	DowntimeS      float64 `json:"downtime_s"`
+	Availability   float64 `json:"availability"`
 }
 
-func statsJSON(s dhlsys.Stats) *StatsJSON {
+func statsJSON(rep dhlsys.AvailabilityReport) *StatsJSON {
+	s := rep.Stats
 	return &StatsJSON{
-		Launches:     s.Launches,
-		DockOps:      s.DockOps,
-		EnergyJ:      float64(s.Energy),
-		BytesRead:    float64(s.BytesRead),
-		BytesWritten: float64(s.BytesWritten),
-		FailuresSeen: s.FailuresSeen,
-		Denied:       s.Denied,
-		Queued:       s.Queued,
+		Launches:         s.Launches,
+		DockOps:          s.DockOps,
+		EnergyJ:          float64(s.Energy),
+		BytesRead:        float64(s.BytesRead),
+		BytesWritten:     float64(s.BytesWritten),
+		FailuresSeen:     s.FailuresSeen,
+		Denied:           s.Denied,
+		Queued:           s.Queued,
+		DegradedLaunches: s.DegradedLaunches,
+		DegradedReads:    s.DegradedReads,
+		DegradedBytes:    float64(s.DegradedBytes),
+		Stalls:           s.Stalls,
+		StallTimeS:       float64(s.StallTime),
+		Reroutes:         s.Reroutes,
+		Timeouts:         s.Timeouts,
+		Backoffs:         s.Backoffs,
+		BackoffWaitS:     float64(s.BackoffWait),
+		FaultsInjected:   rep.Faults.Total,
+		DowntimeS:        float64(rep.Downtime),
+		Availability:     rep.Availability,
 	}
 }
 

@@ -7,32 +7,80 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/dhlsys"
+	"repro/internal/storage"
 	"repro/internal/track"
 	"repro/internal/units"
 )
 
+// ServerOptions hardens the API server against misbehaving peers. All
+// timeouts are wall-clock (the simulation clock is unaffected).
+type ServerOptions struct {
+	// ReadTimeout bounds how long a connection may sit idle between
+	// requests before it is dropped; 0 disables the deadline.
+	ReadTimeout time.Duration
+	// RequestTimeout bounds how long one request may wait for the
+	// simulation (which serialises all clients) plus execute; a request
+	// that cannot acquire the simulation in time is answered with
+	// CodeServerBusy instead of queueing unboundedly. 0 disables.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds Close's graceful wait for in-flight
+	// connections; connections still open when it expires are forcibly
+	// closed. 0 waits forever.
+	DrainTimeout time.Duration
+}
+
+// DefaultServerOptions is the hardened default: 30 s idle read deadline,
+// 10 s request budget, 5 s shutdown drain.
+func DefaultServerOptions() ServerOptions {
+	return ServerOptions{
+		ReadTimeout:    30 * time.Second,
+		RequestTimeout: 10 * time.Second,
+		DrainTimeout:   5 * time.Second,
+	}
+}
+
 // Server serves the §III-D API over TCP for one DHL deployment. The
-// underlying simulation is single-threaded; a mutex serialises client
-// operations (the DHL scheduler itself serialises physical resources).
+// underlying simulation is single-threaded; a capacity-1 semaphore
+// serialises client operations (the DHL scheduler itself serialises
+// physical resources) and lets waiting requests time out.
 type Server struct {
 	sys *dhlsys.System
+	opt ServerOptions
 
-	mu sync.Mutex // guards sys and its engine
+	sem chan struct{} // capacity 1: holds the simulation
 
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 }
 
-// NewServer wraps a system. The system must not be driven elsewhere while
-// the server owns it.
+// NewServer wraps a system with the default hardening options. The system
+// must not be driven elsewhere while the server owns it.
 func NewServer(sys *dhlsys.System) (*Server, error) {
+	return NewServerWithOptions(sys, DefaultServerOptions())
+}
+
+// NewServerWithOptions wraps a system with explicit hardening options.
+func NewServerWithOptions(sys *dhlsys.System, opt ServerOptions) (*Server, error) {
 	if sys == nil {
 		return nil, errors.New("controlplane: nil system")
 	}
-	return &Server{sys: sys, closed: make(chan struct{})}, nil
+	if opt.ReadTimeout < 0 || opt.RequestTimeout < 0 || opt.DrainTimeout < 0 {
+		return nil, errors.New("controlplane: timeouts must be non-negative")
+	}
+	return &Server{
+		sys:    sys,
+		opt:    opt,
+		sem:    make(chan struct{}, 1),
+		closed: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}, nil
 }
 
 // Listen starts accepting on addr (e.g. "127.0.0.1:0") and returns the
@@ -44,7 +92,7 @@ func (s *Server) Listen(addr string) (string, error) {
 	}
 	s.ln = ln
 	s.wg.Add(1)
-	//dhllint:allow goroutine -- network accept loop, not model code; the simulation stays single-threaded behind s.mu
+	//dhllint:allow goroutine -- network accept loop, not model code; the simulation stays single-threaded behind s.sem
 	go s.acceptLoop()
 	return ln.Addr().String(), nil
 }
@@ -61,13 +109,38 @@ func (s *Server) acceptLoop() {
 				return // listener failed; nothing more to accept
 			}
 		}
+		if !s.track(conn) {
+			conn.Close() // shutting down; refuse new work
+			continue
+		}
 		s.wg.Add(1)
-		//dhllint:allow goroutine -- per-connection I/O handler; every simulation op it issues is serialized by s.mu
+		//dhllint:allow goroutine -- per-connection I/O handler; every simulation op it issues is serialized by s.sem
 		go func() {
 			defer s.wg.Done()
+			defer s.untrack(conn)
 			s.serveConn(conn)
 		}()
 	}
+}
+
+// track registers a live connection; it refuses (returns false) once
+// shutdown has begun.
+func (s *Server) track(conn net.Conn) bool {
+	select {
+	case <-s.closed:
+		return false
+	default:
+	}
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	delete(s.conns, conn)
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -75,9 +148,19 @@ func (s *Server) serveConn(conn net.Conn) {
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
 	for {
+		select {
+		case <-s.closed:
+			return // drain: finish between requests, never mid-request
+		default:
+		}
+		if s.opt.ReadTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.opt.ReadTimeout)); err != nil {
+				return
+			}
+		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
-			return // EOF or malformed stream: drop the connection
+			return // EOF, idle timeout, or malformed stream: drop the connection
 		}
 		resp := s.handle(req)
 		if err := enc.Encode(resp); err != nil {
@@ -86,19 +169,43 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// acquire takes the simulation semaphore, bounded by RequestTimeout.
+func (s *Server) acquire() bool {
+	if s.opt.RequestTimeout <= 0 {
+		s.sem <- struct{}{}
+		return true
+	}
+	t := time.NewTimer(s.opt.RequestTimeout)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
 // handle executes one request against the simulation.
 func (s *Server) handle(req Request) Response {
 	if err := req.Validate(); err != nil {
-		return Response{OK: false, Error: err.Error()}
+		return Response{OK: false, Error: err.Error(), Code: CodeBadRequest}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if !s.acquire() {
+		return Response{
+			OK:    false,
+			Error: fmt.Sprintf("controlplane: simulation busy for %v", s.opt.RequestTimeout),
+			Code:  CodeServerBusy,
+		}
+	}
+	defer s.release()
 
 	if req.Op == OpStatus {
 		return Response{
 			OK:      true,
 			SimTime: float64(s.sys.Engine.Now()),
-			Stats:   statsJSON(s.sys.Stats()),
+			Stats:   statsJSON(s.sys.Report()),
 		}
 	}
 
@@ -116,7 +223,7 @@ func (s *Server) handle(req Request) Response {
 		s.sys.Write(id, bytesOf(req), func(_ units.Seconds, err error) { opErr = err })
 	}
 	if _, err := s.sys.Run(); err != nil {
-		return Response{OK: false, Error: err.Error(), SimTime: float64(s.sys.Engine.Now())}
+		return Response{OK: false, Error: err.Error(), Code: CodeInternal, SimTime: float64(s.sys.Engine.Now())}
 	}
 	resp := Response{
 		OK:        opErr == nil,
@@ -125,19 +232,105 @@ func (s *Server) handle(req Request) Response {
 	}
 	if opErr != nil {
 		resp.Error = opErr.Error()
+		resp.Code = CodeForError(opErr)
 	}
 	return resp
 }
 
-// Close stops the listener and waits for in-flight connections.
+// Close stops the listener and drains in-flight requests: connections get
+// DrainTimeout to finish their current exchange, then are forcibly closed.
 func (s *Server) Close() error {
 	close(s.closed)
 	var err error
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
-	s.wg.Wait()
+	done := make(chan struct{})
+	//dhllint:allow goroutine -- shutdown watchdog, not model code
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if s.opt.DrainTimeout > 0 {
+		t := time.NewTimer(s.opt.DrainTimeout)
+		defer t.Stop()
+		select {
+		case <-done:
+			return err
+		case <-t.C:
+			// Drain expired: sever the stragglers so their handlers
+			// unblock, then wait for the bookkeeping to finish.
+			s.connMu.Lock()
+			for c := range s.conns {
+				c.Close()
+			}
+			s.connMu.Unlock()
+		}
+	}
+	<-done
 	return err
+}
+
+// Error codes carried in Response.Code, derived from the fault taxonomy and
+// API error set so clients can branch without parsing messages.
+const (
+	// CodeBadRequest: the request failed validation.
+	CodeBadRequest = "bad-request"
+	// CodeServerBusy: the simulation could not be acquired in time.
+	CodeServerBusy = "server-busy"
+	// CodeInternal: the simulation engine itself failed.
+	CodeInternal = "internal"
+	// CodeUnknownCart, CodeCartBusy, CodeNotAtLibrary, CodeNotDocked: API
+	// state errors.
+	CodeUnknownCart  = "unknown-cart"
+	CodeCartBusy     = "cart-busy"
+	CodeNotAtLibrary = "not-at-library"
+	CodeNotDocked    = "not-docked"
+	// CodeCartFailed: SSD failure consumed the array (ssd-failure kind).
+	CodeCartFailed = "cart-failed"
+	// CodeDegradedRead: the read was served from surviving stripes only.
+	CodeDegradedRead = "degraded-read"
+	// CodeLaunchTimeout: a launch exceeded the recovery policy's budget.
+	CodeLaunchTimeout = "launch-timeout"
+	// CodeRailBlocked: a cart-stall fault blocks the rail.
+	CodeRailBlocked = "rail-blocked"
+	// CodeStationFailed: a dock-failure fault holds the station.
+	CodeStationFailed = "station-failed"
+	// CodeStorage: a storage-layer bounds error.
+	CodeStorage = "storage"
+	// CodeError: unclassified failure.
+	CodeError = "error"
+)
+
+// CodeForError maps an API error chain to its structured code.
+func CodeForError(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, dhlsys.ErrUnknownCart):
+		return CodeUnknownCart
+	case errors.Is(err, dhlsys.ErrCartBusy):
+		return CodeCartBusy
+	case errors.Is(err, dhlsys.ErrNotAtLibrary):
+		return CodeNotAtLibrary
+	case errors.Is(err, dhlsys.ErrNotDocked):
+		return CodeNotDocked
+	case errors.Is(err, dhlsys.ErrCartFailed):
+		return CodeCartFailed
+	case errors.Is(err, dhlsys.ErrDegradedRead):
+		return CodeDegradedRead
+	case errors.Is(err, dhlsys.ErrLaunchTimeout):
+		return CodeLaunchTimeout
+	case errors.Is(err, track.ErrRailBlocked):
+		return CodeRailBlocked
+	case errors.Is(err, track.ErrStationFailed):
+		return CodeStationFailed
+	case errors.Is(err, storage.ErrOutOfRange), errors.Is(err, storage.ErrOutOfSpace),
+		errors.Is(err, storage.ErrNegativeLength), errors.Is(err, storage.ErrDegraded):
+		return CodeStorage
+	default:
+		return CodeError
+	}
 }
 
 // Client is a minimal API client for the wire protocol.

@@ -39,6 +39,12 @@ type ShuttleResult struct {
 	Deliveries int
 	// Retries due to in-flight storage failures.
 	Retries int
+	// DegradedDeliveries completed with only the surviving stripes of a
+	// degraded array (counted inside Deliveries).
+	DegradedDeliveries int
+	// Timeouts is the number of launches that exceeded the recovery
+	// policy's launch timeout.
+	Timeouts int
 	// Duration of the whole transfer, including final cart returns.
 	Duration units.Seconds
 	// Energy charged for all launches.
@@ -60,6 +66,28 @@ func (r ShuttleResult) EffectiveBandwidth() units.BytesPerSecond {
 
 // ErrRetriesExhausted is returned when failures prevent completing delivery.
 var ErrRetriesExhausted = errors.New("dhlsys: delivery retries exhausted")
+
+// backoffDelay returns the delay before a retry after consecFails
+// consecutive failures: RetryBackoff doubling per failure, capped at
+// MaxBackoff (which defaults to 16 × RetryBackoff). A zero RetryBackoff
+// retries immediately, the pre-policy behaviour.
+func (s *System) backoffDelay(consecFails int) units.Seconds {
+	b := s.opt.Recovery.RetryBackoff
+	if b <= 0 {
+		return 0
+	}
+	maxB := s.opt.Recovery.MaxBackoff
+	if maxB <= 0 {
+		maxB = 16 * b
+	}
+	for i := 0; i < consecFails && b < maxB; i++ {
+		b *= 2
+	}
+	if b > maxB {
+		b = maxB
+	}
+	return b
+}
 
 // PreloadFleet fills every cart's array to capacity instantly, modelling the
 // dataset already residing on library carts.
@@ -110,10 +138,13 @@ func (s *System) Shuttle(opt ShuttleOptions) (ShuttleResult, error) {
 
 	// Each cart runs an independent worker loop: claim a slot, Open,
 	// optionally Read, Close, repeat. The System's internal FIFO queue
-	// serialises resource contention.
+	// serialises resource contention. Failed deliveries retry with the
+	// recovery policy's exponential backoff (deterministic: delays are
+	// simulated time, scheduled on the event kernel).
 	var workers []func()
 	for i := 0; i < s.opt.NumCarts; i++ {
 		id := track.CartID(i)
+		consecFails := 0
 		var loop func()
 		loop = func() {
 			if fatal != nil || claimed >= deliveries {
@@ -121,13 +152,16 @@ func (s *System) Shuttle(opt ShuttleOptions) (ShuttleResult, error) {
 			}
 			claimed++
 			s.Open(id, func(err error) {
-				if err != nil {
+				timedOut := errors.Is(err, ErrLaunchTimeout)
+				if err != nil && !timedOut {
 					fatal = fmt.Errorf("dhlsys: open cart %d: %w", id, err)
 					return
 				}
 				finish := func(delivered bool) {
+					next := loop
 					if delivered {
 						res.Deliveries++
+						consecFails = 0
 					} else {
 						claimed-- // slot back for redelivery
 						res.Retries++
@@ -135,14 +169,34 @@ func (s *System) Shuttle(opt ShuttleOptions) (ShuttleResult, error) {
 							fatal = fmt.Errorf("%w: %d retries", ErrRetriesExhausted, res.Retries)
 							return
 						}
+						if b := s.backoffDelay(consecFails); b > 0 {
+							s.stats.Backoffs++
+							s.stats.BackoffWait += b
+							next = func() { s.Engine.MustAfter(b, "retry-backoff", loop) }
+						}
+						consecFails++
 					}
 					s.Close(id, func(err error) {
 						if err != nil {
-							fatal = fmt.Errorf("dhlsys: close cart %d: %w", id, err)
-							return
+							if !errors.Is(err, ErrLaunchTimeout) {
+								fatal = fmt.Errorf("dhlsys: close cart %d: %w", id, err)
+								return
+							}
+							// The cart made it home regardless; record and
+							// keep going.
+							res.Timeouts++
+							res.FailureErrors = append(res.FailureErrors, err)
 						}
-						loop()
+						next()
 					})
+				}
+				if timedOut {
+					// The cart is docked but the delivery blew its budget:
+					// the management layer redelivers (§III-D).
+					res.Timeouts++
+					res.FailureErrors = append(res.FailureErrors, err)
+					finish(false)
+					return
 				}
 				if !opt.ReadAtEndpoint {
 					// Delivery = cart physically present; §V-B accounting.
@@ -151,8 +205,16 @@ func (s *System) Shuttle(opt ShuttleOptions) (ShuttleResult, error) {
 				}
 				s.Read(id, readB, func(_ units.Seconds, err error) {
 					if err != nil {
-						// In-flight failure surfaced by the API; redeliver.
 						res.FailureErrors = append(res.FailureErrors, err)
+						if errors.Is(err, ErrDegradedRead) {
+							// Amelioration: the surviving stripes were
+							// served; the delivery stands, degraded.
+							res.DegradedDeliveries++
+							finish(true)
+							return
+						}
+						// Hard in-flight failure surfaced by the API;
+						// redeliver.
 						finish(false)
 						return
 					}

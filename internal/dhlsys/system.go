@@ -17,7 +17,9 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/fleet"
+	"repro/internal/physics"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/track"
@@ -55,7 +57,46 @@ type Options struct {
 	// connector longevity); carts due for service are re-connectored at
 	// the library, paying the connector's replacement downtime.
 	Wear *fleet.Fleet
+	// Faults, if non-nil, is a deterministic fault script armed on the
+	// event kernel at construction (chaos scenarios, §III-D failure
+	// amelioration). The per-launch FailureRate dice roll feeds the same
+	// injector, so scripted and stochastic faults share one log and
+	// taxonomy.
+	Faults *faults.Script
+	// Recovery configures the failure-amelioration policies.
+	Recovery RecoveryPolicy
+	// Tube overrides the vacuum tube model (zero value = physics
+	// DefaultTube at rough vacuum). Vacuum-leak faults raise its pressure.
+	Tube physics.Tube
 }
+
+// RecoveryPolicy configures how the system ameliorates faults (§III-D:
+// "RAID and backups can ameliorate the issue").
+type RecoveryPolicy struct {
+	// StrictSSD restores the pre-amelioration behaviour: any SSD failure
+	// on a non-redundant array fails the whole cart (ErrCartFailed) even
+	// though surviving stripes are readable. Off by default — degraded
+	// RAID0 arrays serve the surviving fraction.
+	StrictSSD bool
+	// LaunchTimeout, when positive, makes a launch whose undock-to-dock
+	// time exceeds it report ErrLaunchTimeout to the caller. The cart
+	// still arrives (the plant cannot abort mid-tube); the timeout is the
+	// management layer's signal to redeliver.
+	LaunchTimeout units.Seconds
+	// RetryBackoff is the initial delay before a failed delivery is
+	// retried by the bulk-transfer driver; it doubles per consecutive
+	// failure. Zero retries immediately (the pre-policy behaviour).
+	RetryBackoff units.Seconds
+	// MaxBackoff caps the doubled backoff (0 = 16× RetryBackoff).
+	MaxBackoff units.Seconds
+	// VacuumMargin is the drag/thrust fraction defining degraded-mode
+	// cruise speed under partial vacuum (0 = physics.DefaultDragMargin).
+	VacuumMargin float64
+}
+
+// DefaultRecovery returns the default amelioration policy: degraded RAID
+// reads on, no launch timeout, immediate retries, default drag margin.
+func DefaultRecovery() RecoveryPolicy { return RecoveryPolicy{} }
 
 // DefaultOptions is the paper's primary setup: default DHL, single rail,
 // 4 docking stations, 2-cart fleet, RAID0, PCIe 6 ×1/SSD, no failures.
@@ -104,6 +145,17 @@ type Cart struct {
 	Loc   Location
 	// Busy marks a cart with an in-flight operation (launch, return, IO).
 	Busy bool
+
+	// In-flight transit bookkeeping, used by stall faults to push the
+	// arrival event out: the pending rail-transit event, its callback,
+	// and the rail direction slot the cart holds.
+	transitEv   *sim.Event
+	transitFn   func()
+	transitName string
+	transitDir  track.Direction
+	// launchStart is when the current launch acquired its resources
+	// (launch-timeout accounting).
+	launchStart units.Seconds
 }
 
 // Stats accumulates simulation-wide accounting.
@@ -120,15 +172,27 @@ type Stats struct {
 	ConnectorServices int
 	MaintenanceTime   units.Seconds
 	MaintenanceCost   units.USD
+	// Fault-recovery accounting (§III-D amelioration).
+	DegradedLaunches int           // launches flown at reduced speed under partial vacuum
+	DegradedReads    int           // reads served from a degraded array's surviving stripes
+	DegradedBytes    units.Bytes   // bytes those reads served
+	Stalls           int           // in-flight carts stalled by track faults
+	StallTime        units.Seconds // cumulative arrival delay stalls added
+	Reroutes         int           // launches reverse-run over the opposite rail
+	Timeouts         int           // launches that exceeded Recovery.LaunchTimeout
+	Backoffs         int           // delivery retries delayed by backoff
+	BackoffWait      units.Seconds // cumulative backoff delay
 }
 
 // API errors (§III-D: "the endpoint's DHL API will report the error").
 var (
-	ErrUnknownCart  = errors.New("dhlsys: unknown cart")
-	ErrCartBusy     = errors.New("dhlsys: cart has an operation in flight")
-	ErrNotAtLibrary = errors.New("dhlsys: cart not at the library")
-	ErrNotDocked    = errors.New("dhlsys: cart not docked at the endpoint")
-	ErrCartFailed   = errors.New("dhlsys: cart storage failed in flight")
+	ErrUnknownCart   = errors.New("dhlsys: unknown cart")
+	ErrCartBusy      = errors.New("dhlsys: cart has an operation in flight")
+	ErrNotAtLibrary  = errors.New("dhlsys: cart not at the library")
+	ErrNotDocked     = errors.New("dhlsys: cart not docked at the endpoint")
+	ErrCartFailed    = errors.New("dhlsys: cart storage failed in flight")
+	ErrDegradedRead  = errors.New("dhlsys: degraded read served only surviving stripes")
+	ErrLaunchTimeout = errors.New("dhlsys: launch exceeded the configured timeout")
 )
 
 // System is a running deployment simulation.
@@ -143,6 +207,17 @@ type System struct {
 	carts  map[track.CartID]*Cart
 	rng    *rand.Rand
 	stats  Stats
+
+	// Fault-injection state.
+	inj   *faults.Injector
+	tube  physics.Tube
+	leaks []float64 // active leak pressures, Pa (max governs)
+	// limDown counts active power-loss faults per launch direction
+	// (index 0 = outbound LIM at the library, 1 = inbound at the endpoint).
+	limDown [2]int
+	// needsService marks carts whose connector was damaged by a
+	// dock-station failure; they are force-serviced at the library.
+	needsService map[track.CartID]bool
 
 	// waiting holds deferred Open requests (FIFO).
 	waiting []func() bool
@@ -178,15 +253,21 @@ func New(opt Options) (*System, error) {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(opt.Seed))
 	}
+	tube := opt.Tube
+	if tube.CrossSectionArea <= 0 {
+		tube = physics.DefaultTube()
+	}
 	s := &System{
-		Engine: sim.New(),
-		opt:    opt,
-		launch: l,
-		rail:   track.NewRail(opt.RailMode),
-		dock:   dock,
-		lib:    track.NewLibrary(opt.LibrarySlots),
-		carts:  make(map[track.CartID]*Cart),
-		rng:    rng,
+		Engine:       sim.New(),
+		opt:          opt,
+		launch:       l,
+		rail:         track.NewRail(opt.RailMode),
+		dock:         dock,
+		lib:          track.NewLibrary(opt.LibrarySlots),
+		carts:        make(map[track.CartID]*Cart),
+		rng:          rng,
+		tube:         tube,
+		needsService: make(map[track.CartID]bool),
 	}
 	for i := 0; i < opt.NumCarts; i++ {
 		id := track.CartID(i)
@@ -198,6 +279,21 @@ func New(opt Options) (*System, error) {
 		if err := s.lib.Store(id); err != nil {
 			return nil, err
 		}
+	}
+	script := faults.Script{}
+	if opt.Faults != nil {
+		script = *opt.Faults
+		if err := script.Validate(opt.NumCarts, opt.DockStations, opt.Core.Cart.Config.NumSSDs); err != nil {
+			return nil, err
+		}
+	}
+	inj, err := faults.NewInjector(s.Engine, faultTarget{s}, script)
+	if err != nil {
+		return nil, err
+	}
+	s.inj = inj
+	if err := inj.Arm(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -241,16 +337,35 @@ func (s *System) enqueue(try func() bool) {
 	s.waiting = append(s.waiting, try)
 }
 
-// maybeFailSSD rolls the in-flight failure dice for one launch.
+// maybeFailSSD rolls the in-flight failure dice for one launch. The draw
+// order (Float64 then Intn) is part of the determinism contract — runs with
+// a fixed seed replay identically. The hit routes through the injector so
+// stochastic and scripted SSD deaths share one log and taxonomy.
 func (s *System) maybeFailSSD(c *Cart) {
 	if s.opt.FailureRate <= 0 {
 		return
 	}
 	if s.rng.Float64() < s.opt.FailureRate {
 		idx := s.rng.Intn(len(c.Array.Devices))
-		c.Array.Devices[idx].Fail()
-		s.stats.FailuresSeen++
+		s.inj.InjectNow(faults.Fault{Kind: faults.SSDFailure, Cart: c.ID, Device: idx})
 	}
+}
+
+// launchDirection picks the rail direction for a journey whose natural
+// direction is natural: normally natural itself, but when that direction is
+// fault-blocked on a dual-rail track the cart can reverse-run over the
+// opposite rail if it is free (§VI alternative track designs give each
+// direction its own rail, so the hardware permits it). Returns the chosen
+// direction and whether this is a reroute; ok=false means no direction is
+// currently usable and the request should stay queued.
+func (s *System) launchDirection(natural track.Direction) (dir track.Direction, reroute, ok bool) {
+	if s.rail.Free(natural) {
+		return natural, false, true
+	}
+	if s.opt.RailMode == track.DualRail && s.rail.Blocked(natural) && s.rail.Free(natural.Opposite()) {
+		return natural.Opposite(), true, true
+	}
+	return natural, false, false
 }
 
 // Open requests cart id be shuttled from the library to an endpoint docking
@@ -276,61 +391,104 @@ func (s *System) Open(id track.CartID, done func(error)) {
 	}
 	c.Busy = true
 	s.enqueue(func() bool {
-		// Need: outbound rail free and a free station with no mid-dock cart.
-		if !s.rail.Free(track.Outbound) || s.dock.Blocked() || s.dock.FreeStations() == 0 {
+		// Need: the outbound LIM energised, a usable rail direction, and a
+		// free in-service station with no mid-dock cart.
+		if !s.limUp(track.Outbound) || s.dock.Blocked() || s.dock.FreeStations() == 0 {
 			return false
 		}
-		if err := s.rail.Reserve(id, track.Outbound); err != nil {
+		dir, reroute, ok := s.launchDirection(track.Outbound)
+		if !ok {
 			return false
+		}
+		if err := s.rail.Reserve(id, dir); err != nil {
+			return false
+		}
+		if reroute {
+			s.stats.Reroutes++
 		}
 		if err := s.lib.Remove(id); err != nil {
 			// Programming error; surface it.
-			s.rail.Release(id, track.Outbound)
+			s.rail.Release(id, dir)
 			c.Busy = false
 			done(err)
 			return true
 		}
-		s.runOutbound(c, done)
+		s.runOutbound(c, dir, done)
 		return true
 	})
 }
 
-// runOutbound performs library undock → transit → endpoint dock.
-func (s *System) runOutbound(c *Cart, done func(error)) {
+// runOutbound performs library undock → transit → endpoint dock. dir is the
+// rail slot the cart reserved (normally Outbound; Inbound when rerouted
+// around a blocked rail on a dual-rail track).
+func (s *System) runOutbound(c *Cart, dir track.Direction, done func(error)) {
 	c.Loc = InTransit
+	c.launchStart = s.Engine.Now()
 	s.Engine.MustAfter(s.opt.Core.UndockTime, "undock@library", func() {
 		s.stats.DockOps++
 		s.maybeFailSSD(c)
-		s.Engine.MustAfter(s.transitTime(), "transit-out", func() {
-			if _, err := s.dock.BeginDock(c.ID); err != nil {
-				// Station stolen between reservation and arrival cannot
-				// happen (rail reservation covers the window); treat as bug.
-				panic(fmt.Sprintf("dhlsys: dock reservation violated: %v", err))
-			}
-			s.Engine.MustAfter(s.opt.Core.DockTime, "dock@endpoint", func() {
-				if err := s.dock.EndDock(c.ID); err != nil {
-					panic(err)
+		dyn := s.dynamics()
+		if dyn.degraded {
+			s.stats.DegradedLaunches++
+		}
+		s.scheduleTransit(c, dyn.transit, "transit-out", dir, func() {
+			// A station free at reservation time may have failed in flight;
+			// the cart loiters at the bank (holding its rail slot) until a
+			// station is repaired or freed.
+			var tryDock func() bool
+			tryDock = func() bool {
+				if s.dock.Blocked() || s.dock.FreeStations() == 0 {
+					return false
 				}
-				s.stats.DockOps++
-				if s.opt.Wear != nil {
-					// Endpoint mating cycle; service is deferred to the
-					// library (§III-B.6).
-					if _, err := s.opt.Wear.RecordDock(c.ID); err != nil {
+				if _, err := s.dock.BeginDock(c.ID); err != nil {
+					return false
+				}
+				s.Engine.MustAfter(s.opt.Core.DockTime, "dock@endpoint", func() {
+					if err := s.dock.EndDock(c.ID); err != nil {
 						panic(err)
 					}
-				}
-				s.stats.Launches++
-				s.stats.Energy += s.launch.Energy
-				if err := s.rail.Release(c.ID, track.Outbound); err != nil {
-					panic(err)
-				}
-				c.Loc = AtDock
-				c.Busy = false
-				s.retryWaiting()
-				done(nil)
-			})
+					s.stats.DockOps++
+					if s.opt.Wear != nil {
+						// Endpoint mating cycle; service is deferred to the
+						// library (§III-B.6).
+						if _, err := s.opt.Wear.RecordDock(c.ID); err != nil {
+							panic(err)
+						}
+					}
+					s.stats.Launches++
+					s.stats.Energy += dyn.energy
+					if err := s.rail.Release(c.ID, dir); err != nil {
+						panic(err)
+					}
+					c.Loc = AtDock
+					c.Busy = false
+					s.retryWaiting()
+					done(s.checkLaunchTimeout(c))
+				})
+				return true
+			}
+			s.enqueue(tryDock)
 		})
 	})
+}
+
+// checkLaunchTimeout applies the recovery policy's launch timeout to the
+// journey that started at c.launchStart: nil inside the budget, a wrapped
+// ErrLaunchTimeout past it. The cart has already arrived either way — the
+// plant cannot abort mid-tube — so the error is purely the management
+// layer's redelivery signal.
+func (s *System) checkLaunchTimeout(c *Cart) error {
+	limit := s.opt.Recovery.LaunchTimeout
+	if limit <= 0 {
+		return nil
+	}
+	elapsed := s.Engine.Now() - c.launchStart
+	if elapsed <= limit {
+		return nil
+	}
+	s.stats.Timeouts++
+	return fmt.Errorf("%w: cart %d took %.3fs (budget %.3fs)",
+		ErrLaunchTimeout, c.ID, float64(elapsed), float64(limit))
 }
 
 // Close requests cart id be undocked and returned to the library (§III-D
@@ -354,25 +512,34 @@ func (s *System) Close(id track.CartID, done func(error)) {
 	}
 	c.Busy = true
 	s.enqueue(func() bool {
-		if !s.rail.Free(track.Inbound) || s.dock.Blocked() {
+		if !s.limUp(track.Inbound) || s.dock.Blocked() {
 			return false
 		}
-		if err := s.rail.Reserve(id, track.Inbound); err != nil {
+		dir, reroute, ok := s.launchDirection(track.Inbound)
+		if !ok {
 			return false
+		}
+		if err := s.rail.Reserve(id, dir); err != nil {
+			return false
+		}
+		if reroute {
+			s.stats.Reroutes++
 		}
 		if err := s.dock.BeginUndock(id); err != nil {
-			s.rail.Release(id, track.Inbound)
+			s.rail.Release(id, dir)
 			c.Busy = false
 			done(err)
 			return true
 		}
-		s.runInbound(c, done)
+		s.runInbound(c, dir, done)
 		return true
 	})
 }
 
-// runInbound performs endpoint undock → transit → library dock.
-func (s *System) runInbound(c *Cart, done func(error)) {
+// runInbound performs endpoint undock → transit → library dock. dir is the
+// reserved rail slot (normally Inbound; Outbound when rerouted).
+func (s *System) runInbound(c *Cart, dir track.Direction, done func(error)) {
+	c.launchStart = s.Engine.Now()
 	s.Engine.MustAfter(s.opt.Core.UndockTime, "undock@endpoint", func() {
 		if err := s.dock.EndUndock(c.ID); err != nil {
 			panic(err)
@@ -380,12 +547,16 @@ func (s *System) runInbound(c *Cart, done func(error)) {
 		s.stats.DockOps++
 		c.Loc = InTransit
 		s.maybeFailSSD(c)
-		s.Engine.MustAfter(s.transitTime(), "transit-in", func() {
+		dyn := s.dynamics()
+		if dyn.degraded {
+			s.stats.DegradedLaunches++
+		}
+		s.scheduleTransit(c, dyn.transit, "transit-in", dir, func() {
 			s.Engine.MustAfter(s.opt.Core.DockTime, "dock@library", func() {
 				s.stats.DockOps++
 				s.stats.Launches++
-				s.stats.Energy += s.launch.Energy
-				if err := s.rail.Release(c.ID, track.Inbound); err != nil {
+				s.stats.Energy += dyn.energy
+				if err := s.rail.Release(c.ID, dir); err != nil {
 					panic(err)
 				}
 				if err := s.lib.Store(c.ID); err != nil {
@@ -413,53 +584,81 @@ func (s *System) runInbound(c *Cart, done func(error)) {
 						}
 					}
 				}
-				if s.opt.Wear != nil {
-					due, err := s.opt.Wear.RecordDock(c.ID)
-					if err != nil {
-						done(err)
-						return
-					}
-					if due {
-						// Preventive connector replacement at the library:
-						// the cart stays busy for the service downtime.
-						cost, downtime, err := s.opt.Wear.Service(c.ID)
-						if err != nil {
-							done(err)
-							return
-						}
-						s.stats.ConnectorServices++
-						s.stats.MaintenanceTime += downtime
-						s.stats.MaintenanceCost += cost
-						c.Busy = true
-						s.Engine.MustAfter(downtime, "connector-service", func() {
-							c.Busy = false
-							s.retryWaiting()
-							done(nil)
-						})
-						return
-					}
+				switch err := s.maybeServiceConnector(c, done); {
+				case errors.Is(err, errServiceScheduled):
+					return // done fires when the service completes
+				case err != nil:
+					done(err)
+					return
 				}
 				s.retryWaiting()
-				done(nil)
+				done(s.checkLaunchTimeout(c))
 			})
 		})
 	})
 }
 
+// errServiceScheduled is the sentinel maybeServiceConnector uses internally
+// to signal that completion was handed to the service event.
+var errServiceScheduled = errors.New("dhlsys: connector service scheduled")
+
+// maybeServiceConnector runs the library-side connector checks on a cart
+// that just returned: wear-policy preventive replacement, plus forced
+// replacement when a dock-station failure damaged the cart's connector
+// (needsService). A non-nil return other than errServiceScheduled is a hard
+// error; errServiceScheduled means done will be invoked later.
+func (s *System) maybeServiceConnector(c *Cart, done func(error)) error {
+	forced := s.needsService[c.ID]
+	if s.opt.Wear == nil {
+		// No wear model to service against; a damaged connector is swapped
+		// notionally for free (nothing tracks its cost).
+		delete(s.needsService, c.ID)
+		return nil
+	}
+	due, err := s.opt.Wear.RecordDock(c.ID)
+	if err != nil {
+		return err
+	}
+	if !due && !forced {
+		return nil
+	}
+	// Connector replacement at the library: the cart stays busy for the
+	// service downtime.
+	cost, downtime, err := s.opt.Wear.Service(c.ID)
+	if err != nil {
+		return err
+	}
+	delete(s.needsService, c.ID)
+	s.stats.ConnectorServices++
+	s.stats.MaintenanceTime += downtime
+	s.stats.MaintenanceCost += cost
+	c.Busy = true
+	s.Engine.MustAfter(downtime, "connector-service", func() {
+		c.Busy = false
+		s.retryWaiting()
+		done(nil)
+	})
+	return errServiceScheduled
+}
+
 // Read reads n bytes from a docked cart (§III-D command 3). done receives
-// the transfer duration. Reads of carts whose array lost redundancy in
-// flight report the error, per the paper's failure model.
+// the transfer duration. When the cart's array lost redundancy in flight,
+// behaviour follows the recovery policy: under the default policy the read
+// is served from the surviving stripes at their reduced bandwidth and done
+// receives a wrapped ErrDegradedRead naming the shortfall (§III-D: "RAID
+// and backups can ameliorate the issue"); with Recovery.StrictSSD the
+// pre-amelioration ErrCartFailed is reported instead.
 func (s *System) Read(id track.CartID, n units.Bytes, done func(units.Seconds, error)) {
-	s.transferOp(id, n, done, func(c *Cart) (units.Seconds, error) { return c.Array.Read(n) }, &s.stats.BytesRead)
+	s.transferOp(id, n, done, true)
 }
 
-// Write writes n bytes to a docked cart (§III-D command 4).
+// Write writes n bytes to a docked cart (§III-D command 4). Writes to a
+// degraded array always fail — there is no redundancy to absorb them.
 func (s *System) Write(id track.CartID, n units.Bytes, done func(units.Seconds, error)) {
-	s.transferOp(id, n, done, func(c *Cart) (units.Seconds, error) { return c.Array.Write(n) }, &s.stats.BytesWritten)
+	s.transferOp(id, n, done, false)
 }
 
-func (s *System) transferOp(id track.CartID, n units.Bytes, done func(units.Seconds, error),
-	op func(*Cart) (units.Seconds, error), counter *units.Bytes) {
+func (s *System) transferOp(id track.CartID, n units.Bytes, done func(units.Seconds, error), isRead bool) {
 	c, ok := s.carts[id]
 	if !ok {
 		s.stats.Denied++
@@ -477,21 +676,68 @@ func (s *System) transferOp(id track.CartID, n units.Bytes, done func(units.Seco
 		return
 	}
 	if !c.Array.Healthy() {
-		s.stats.Denied++
-		done(0, fmt.Errorf("%w: cart %d", ErrCartFailed, id))
+		if !isRead || s.opt.Recovery.StrictSSD {
+			s.stats.Denied++
+			done(0, fmt.Errorf("%w: cart %d", ErrCartFailed, id))
+			return
+		}
+		s.degradedRead(c, n, done)
 		return
 	}
-	d, err := op(c)
+	var d units.Seconds
+	var err error
+	if isRead {
+		d, err = c.Array.Read(n)
+	} else {
+		d, err = c.Array.Write(n)
+	}
 	if err != nil {
 		s.stats.Denied++
 		done(0, err)
 		return
 	}
 	c.Busy = true
-	*counter += n
+	if isRead {
+		s.stats.BytesRead += n
+	} else {
+		s.stats.BytesWritten += n
+	}
 	s.Engine.MustAfter(d, "io", func() {
 		c.Busy = false
 		done(d, nil)
+	})
+}
+
+// degradedRead serves what survives of an n-byte read on an array past its
+// redundancy: the stripes on failed devices are gone, so only the surviving
+// fraction of the requested range is returned, at the survivors' aggregate
+// bandwidth. done receives the transfer time and a wrapped ErrDegradedRead
+// reporting the shortfall.
+func (s *System) degradedRead(c *Cart, n units.Bytes, done func(units.Seconds, error)) {
+	used := c.Array.Used()
+	if n > used {
+		s.stats.Denied++
+		done(0, fmt.Errorf("%w: cart %d holds %v, %v requested", storage.ErrOutOfRange, c.ID, used, n))
+		return
+	}
+	avail := c.Array.AvailablePayload()
+	serve := n
+	if used > 0 {
+		serve = units.Bytes(float64(n) * float64(avail) / float64(used))
+	}
+	d, err := c.Array.DegradedRead(serve)
+	if err != nil {
+		s.stats.Denied++
+		done(0, err)
+		return
+	}
+	c.Busy = true
+	s.stats.DegradedReads++
+	s.stats.DegradedBytes += serve
+	s.stats.BytesRead += serve
+	s.Engine.MustAfter(d, "io-degraded", func() {
+		c.Busy = false
+		done(d, fmt.Errorf("%w: cart %d served %v of %v", ErrDegradedRead, c.ID, serve, n))
 	})
 }
 

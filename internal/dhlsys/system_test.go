@@ -267,11 +267,14 @@ func TestDualRailFasterThanSingleWithoutReads(t *testing.T) {
 	}
 }
 
-func TestFailureInjectionRAID0(t *testing.T) {
+func TestFailureInjectionRAID0Strict(t *testing.T) {
+	// Recovery.StrictSSD restores the pre-amelioration failure model: any
+	// SSD death on a RAID0 cart fails the whole cart and forces redelivery.
 	o := DefaultOptions()
 	o.NumCarts = 2
 	o.FailureRate = 0.35
 	o.Seed = 7
+	o.Recovery.StrictSSD = true
 	s := mustSystem(t, o)
 	res, err := s.Shuttle(ShuttleOptions{Dataset: 12 * 256 * units.TB, ReadAtEndpoint: true})
 	if err != nil {
@@ -280,10 +283,10 @@ func TestFailureInjectionRAID0(t *testing.T) {
 	if s.Stats().FailuresSeen == 0 {
 		t.Fatal("expected injected failures at 35% rate over ≥24 launches")
 	}
-	// RAID0 cannot hide failures: the API must have reported errors and the
-	// driver must have redelivered.
+	// Strict RAID0 cannot hide failures: the API must have reported errors
+	// and the driver must have redelivered.
 	if len(res.FailureErrors) == 0 || res.Retries == 0 {
-		t.Errorf("failures=%d retries=%d errors=%d: RAID0 failures must surface",
+		t.Errorf("failures=%d retries=%d errors=%d: strict RAID0 failures must surface",
 			s.Stats().FailuresSeen, res.Retries, len(res.FailureErrors))
 	}
 	for _, e := range res.FailureErrors {
@@ -293,6 +296,46 @@ func TestFailureInjectionRAID0(t *testing.T) {
 	}
 	if res.Deliveries != 12 {
 		t.Errorf("deliveries = %d, want 12 despite failures", res.Deliveries)
+	}
+}
+
+func TestFailureInjectionRAID0DegradedReads(t *testing.T) {
+	// Default policy (§III-D amelioration): a failed SSD on a RAID0 cart
+	// degrades capacity and bandwidth — the surviving stripes are served
+	// and the delivery stands — instead of failing the whole cart.
+	o := DefaultOptions()
+	o.NumCarts = 2
+	o.FailureRate = 0.35
+	o.Seed = 7
+	s := mustSystem(t, o)
+	res, err := s.Shuttle(ShuttleOptions{Dataset: 12 * 256 * units.TB, ReadAtEndpoint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.FailuresSeen == 0 {
+		t.Fatal("expected injected failures at 35% rate over ≥24 launches")
+	}
+	if res.DegradedDeliveries == 0 || st.DegradedReads == 0 || st.DegradedBytes == 0 {
+		t.Errorf("degraded deliveries=%d reads=%d bytes=%v: amelioration should have engaged",
+			res.DegradedDeliveries, st.DegradedReads, st.DegradedBytes)
+	}
+	// Degraded reads replace redeliveries entirely for this workload.
+	if res.Retries != 0 {
+		t.Errorf("retries = %d, want 0 (degraded reads stand as deliveries)", res.Retries)
+	}
+	for _, e := range res.FailureErrors {
+		if !errors.Is(e, ErrDegradedRead) {
+			t.Errorf("unexpected failure error: %v", e)
+		}
+	}
+	if res.Deliveries != 12 {
+		t.Errorf("deliveries = %d, want 12", res.Deliveries)
+	}
+	// The degraded path must serve strictly less than the nominal payload.
+	nominal := 12 * 256 * units.TB
+	if st.BytesRead >= nominal {
+		t.Errorf("bytes read = %v, want < %v (failed stripes are gone)", st.BytesRead, nominal)
 	}
 }
 

@@ -44,7 +44,10 @@ type Line struct {
 	cartAt map[track.CartID]int
 	busy   map[track.CartID]bool
 	// active spans: [lo, hi] stop-index ranges currently reserved.
-	active  []span
+	active []span
+	// blocked spans: segments out of service (derailment, maintenance);
+	// moves overlapping a blocked span queue until it clears.
+	blocked []span
 	waiting []func() bool
 	stats   Stats
 }
@@ -59,6 +62,8 @@ type Stats struct {
 	Energy units.Joules
 	// QueuedMoves had to wait for a conflicting span to clear.
 	QueuedMoves int
+	// BlockedMoves had to wait specifically for an out-of-service segment.
+	BlockedMoves int
 	// TotalWait is the cumulative time moves spent queued.
 	TotalWait units.Seconds
 }
@@ -210,7 +215,17 @@ func (l *Line) Move(id track.CartID, to int, done func(error)) {
 	}
 	sp := span{lo: min(from, to), hi: max(from, to)}
 	requested := l.Engine.Now()
+	blockedOnce := false
 	tryStart := func() bool {
+		for _, b := range l.blocked {
+			if sp.overlaps(b) {
+				if !blockedOnce {
+					blockedOnce = true
+					l.stats.BlockedMoves++
+				}
+				return false
+			}
+		}
 		for _, a := range l.active {
 			if sp.overlaps(a) {
 				return false
@@ -238,6 +253,41 @@ func (l *Line) Move(id track.CartID, to int, done func(error)) {
 	l.stats.QueuedMoves++
 	l.waiting = append(l.waiting, tryStart)
 }
+
+// Block takes the rail segment spanning stop indices [lo, hi] out of
+// service (fault injection: derailed cart, tube maintenance). Moves whose
+// spans overlap it queue FIFO until Unblock. Blockades nest; each Block
+// needs a matching Unblock.
+func (l *Line) Block(lo, hi int) error {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo < 0 || hi >= len(l.stops) {
+		return fmt.Errorf("%w: segment [%d,%d]", ErrUnknownStop, lo, hi)
+	}
+	l.blocked = append(l.blocked, span{lo: lo, hi: hi})
+	return nil
+}
+
+// Unblock returns the segment [lo, hi] to service and retries queued
+// moves. It removes one matching blockade; unknown segments error.
+func (l *Line) Unblock(lo, hi int) error {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	want := span{lo: lo, hi: hi}
+	for i, b := range l.blocked {
+		if b == want {
+			l.blocked = append(l.blocked[:i], l.blocked[i+1:]...)
+			l.retryWaiting()
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: segment [%d,%d] not blocked", ErrUnknownStop, lo, hi)
+}
+
+// BlockedSegments returns the number of active blockades.
+func (l *Line) BlockedSegments() int { return len(l.blocked) }
 
 func (l *Line) release(sp span) {
 	for i, a := range l.active {

@@ -308,3 +308,77 @@ func TestCartAtUnknown(t *testing.T) {
 		t.Error("unknown cart must not resolve")
 	}
 }
+
+func TestBlockQueuesMovesUntilUnblock(t *testing.T) {
+	l := mustLine(t)
+	if err := l.Place(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Block(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if l.BlockedSegments() != 1 {
+		t.Fatalf("BlockedSegments = %d, want 1", l.BlockedSegments())
+	}
+	// The move spans [0,3] and overlaps the blockade: it must queue, not
+	// fail, and complete only after the segment is returned to service.
+	var doneAt units.Seconds
+	moveErr := errors.New("not called")
+	l.Move(0, 3, func(err error) {
+		moveErr = err
+		doneAt = l.Engine.Now()
+	})
+	const clearAt = units.Seconds(30)
+	l.Engine.MustAfter(clearAt, "clear-debris", func() {
+		if err := l.Unblock(1, 2); err != nil {
+			t.Errorf("Unblock: %v", err)
+		}
+	})
+	if _, err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if moveErr != nil {
+		t.Fatalf("queued move failed: %v", moveErr)
+	}
+	if doneAt < clearAt {
+		t.Errorf("move completed at %v, before the blockade cleared at %v", doneAt, clearAt)
+	}
+	if at, ok := l.CartAt(0); !ok || at != 3 {
+		t.Errorf("cart at %d (ok=%v), want 3", at, ok)
+	}
+	st := l.Stats()
+	if st.BlockedMoves != 1 || st.QueuedMoves != 1 || st.Moves != 1 {
+		t.Errorf("stats = %+v, want 1 blocked, 1 queued, 1 move", st)
+	}
+	if l.BlockedSegments() != 0 {
+		t.Errorf("BlockedSegments after Unblock = %d", l.BlockedSegments())
+	}
+}
+
+func TestBlockadesNest(t *testing.T) {
+	l := mustLine(t)
+	if err := l.Block(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Block(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Unblock(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if l.BlockedSegments() != 1 {
+		t.Errorf("one Unblock cleared both nested blockades: %d left", l.BlockedSegments())
+	}
+	if err := l.Unblock(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Unblock(0, 1); err == nil {
+		t.Error("Unblock of an unblocked segment must error")
+	}
+	if err := l.Block(-1, 2); err == nil {
+		t.Error("out-of-range Block must error")
+	}
+	if err := l.Block(0, 4); err == nil {
+		t.Error("out-of-range Block must error")
+	}
+}

@@ -239,6 +239,65 @@ func (a *Array) Read(n units.Bytes) (units.Seconds, error) {
 	return a.capTime(n, worst, a.ReadBandwidth()), nil
 }
 
+// SurvivingDevices returns the number of non-failed devices.
+func (a *Array) SurvivingDevices() int { return len(a.Devices) - a.failedCount() }
+
+// AvailablePayload is the payload readable under the current failure
+// state. A healthy (or singly-degraded RAID5) array serves everything; a
+// RAID0 array that lost f of n devices lost the stripes on those devices —
+// the surviving (n−f)/n fraction is still addressable, per §III-D's
+// observation that backups ameliorate partial data loss. A RAID5 array
+// past its redundancy serves nothing.
+func (a *Array) AvailablePayload() units.Bytes {
+	f := a.failedCount()
+	if f == 0 {
+		return a.Used()
+	}
+	switch a.Level {
+	case RAID5:
+		if f <= 1 {
+			return a.Used()
+		}
+		return 0
+	default:
+		return units.Bytes(float64(a.Used()) * float64(len(a.Devices)-f) / float64(len(a.Devices)))
+	}
+}
+
+// DegradedRead reads n payload bytes from the surviving stripes of an
+// array that may have lost redundancy, returning the transfer time at the
+// survivors' aggregate bandwidth. Unlike Read it does not require Healthy;
+// it requires only that the requested bytes fit in AvailablePayload.
+func (a *Array) DegradedRead(n units.Bytes) (units.Seconds, error) {
+	if n < 0 {
+		return 0, ErrNegativeLength
+	}
+	if a.Healthy() {
+		return a.Read(n)
+	}
+	avail := a.AvailablePayload()
+	if n > avail {
+		return 0, fmt.Errorf("%w: %v available on survivors, %v requested", ErrOutOfRange, avail, n)
+	}
+	surv := a.SurvivingDevices()
+	if surv == 0 {
+		return 0, fmt.Errorf("%w: no surviving devices", ErrDegraded)
+	}
+	per := units.Bytes(float64(n) / float64(surv))
+	var worst units.Seconds
+	for _, d := range a.Devices {
+		if d.Failed() {
+			continue
+		}
+		t := d.Spec.ReadRate.TransferTime(per)
+		d.bytesRead += per
+		if t > worst {
+			worst = t
+		}
+	}
+	return a.capTime(n, worst, a.ReadBandwidth()), nil
+}
+
 // capTime returns the device-limited time unless the PCIe-capped aggregate
 // bandwidth is slower.
 func (a *Array) capTime(n units.Bytes, deviceTime units.Seconds, bw units.BytesPerSecond) units.Seconds {

@@ -342,3 +342,96 @@ func TestDensityPerGramDegenerate(t *testing.T) {
 		t.Error("zero mass must give +Inf density")
 	}
 }
+
+func TestRAID0DegradedReadServesSurvivingStripes(t *testing.T) {
+	a, _ := NewArray(RAID0, SabrentRocket4Plus, 4, 6, 1)
+	if _, err := a.Write(20 * units.TB); err != nil {
+		t.Fatal(err)
+	}
+	// Healthy arrays delegate: DegradedRead == Read.
+	hd, err := a.DegradedRead(8 * units.TB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := a.Read(8 * units.TB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hd != hr {
+		t.Errorf("healthy DegradedRead = %v, Read = %v; must match", hd, hr)
+	}
+
+	if err := a.FailDevice(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.SurvivingDevices(); got != 3 {
+		t.Errorf("SurvivingDevices = %d, want 3", got)
+	}
+	// One of four stripes is gone: 15 TB of the 20 TB payload survives.
+	if got := a.AvailablePayload(); got != 15*units.TB {
+		t.Errorf("AvailablePayload = %v, want 15 TB", got)
+	}
+	dt, err := a.DegradedRead(15 * units.TB)
+	if err != nil {
+		t.Fatalf("degraded read of available payload: %v", err)
+	}
+	if dt <= 0 {
+		t.Errorf("degraded read time = %v, must be positive", dt)
+	}
+	// Asking beyond the survivors is out of range, not a cart death.
+	if _, err := a.DegradedRead(16 * units.TB); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("over-available read err = %v, want ErrOutOfRange", err)
+	}
+	if _, err := a.DegradedRead(-1); !errors.Is(err, ErrNegativeLength) {
+		t.Errorf("negative read err = %v", err)
+	}
+}
+
+func TestDegradedReadSlowerOnFewerDevices(t *testing.T) {
+	healthy, _ := NewArray(RAID0, SabrentRocket4Plus, 4, 6, 1)
+	degraded, _ := NewArray(RAID0, SabrentRocket4Plus, 4, 6, 1)
+	for _, a := range []*Array{healthy, degraded} {
+		if _, err := a.Write(20 * units.TB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := degraded.FailDevice(0); err != nil {
+		t.Fatal(err)
+	}
+	const n = 12 * units.TB
+	ht, err := healthy.Read(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := degraded.DegradedRead(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt < ht {
+		t.Errorf("degraded read %v faster than healthy %v; three devices cannot beat four", dt, ht)
+	}
+}
+
+func TestRAID5PastRedundancyServesNothing(t *testing.T) {
+	a, _ := NewArray(RAID5, SabrentRocket4Plus, 4, 6, 1)
+	if _, err := a.Write(10 * units.TB); err != nil {
+		t.Fatal(err)
+	}
+	// One failure: parity covers it, everything still available.
+	if err := a.FailDevice(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.AvailablePayload(); got != 10*units.TB {
+		t.Errorf("singly-degraded RAID5 AvailablePayload = %v, want full 10 TB", got)
+	}
+	// Two failures: the stripe set is unrecoverable.
+	if err := a.FailDevice(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.AvailablePayload(); got != 0 {
+		t.Errorf("doubly-failed RAID5 AvailablePayload = %v, want 0", got)
+	}
+	if _, err := a.DegradedRead(units.GB); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("read from dead RAID5 err = %v, want ErrOutOfRange", err)
+	}
+}

@@ -66,21 +66,28 @@ func (m RailMode) String() string {
 
 // Errors returned by resource operations.
 var (
-	ErrRailBusy     = errors.New("track: rail occupied")
-	ErrRailIdle     = errors.New("track: rail not occupied by that cart")
-	ErrDockFull     = errors.New("track: all docking stations occupied")
-	ErrDockBlocked  = errors.New("track: a cart is mid-dock, rail blocked")
-	ErrNotDocked    = errors.New("track: cart not docked here")
-	ErrLibraryFull  = errors.New("track: library has no free slot")
-	ErrNotInLibrary = errors.New("track: cart not stored in library")
-	ErrDuplicate    = errors.New("track: cart already present")
+	ErrRailBusy      = errors.New("track: rail occupied")
+	ErrRailBlocked   = errors.New("track: rail direction blocked by a fault")
+	ErrRailIdle      = errors.New("track: rail not occupied by that cart")
+	ErrDockFull      = errors.New("track: all docking stations occupied")
+	ErrDockBlocked   = errors.New("track: a cart is mid-dock, rail blocked")
+	ErrNotDocked     = errors.New("track: cart not docked here")
+	ErrStationFailed = errors.New("track: docking station out of service")
+	ErrBadStation    = errors.New("track: no such docking station")
+	ErrLibraryFull   = errors.New("track: library has no free slot")
+	ErrNotInLibrary  = errors.New("track: cart not stored in library")
+	ErrDuplicate     = errors.New("track: cart already present")
 )
 
 // Rail is the transit resource. In SingleRail mode both directions share one
-// reservation; in DualRail mode each direction has its own.
+// reservation; in DualRail mode each direction has its own. A rail
+// direction can additionally be blocked by a fault (derailed cart, debris
+// on the segment): blocked directions refuse new reservations until
+// unblocked, independent of occupancy.
 type Rail struct {
 	Mode     RailMode
 	occupant [2]CartID // per direction; SingleRail uses index 0 only
+	blocked  [2]int    // active blockage count per direction slot
 }
 
 // NewRail builds an empty rail.
@@ -95,8 +102,34 @@ func (r *Rail) slot(d Direction) *CartID {
 	return &r.occupant[int(d)]
 }
 
-// Reserve claims the rail for a cart travelling in direction d.
+func (r *Rail) blockSlot(d Direction) *int {
+	if r.Mode == SingleRail {
+		return &r.blocked[0]
+	}
+	return &r.blocked[int(d)]
+}
+
+// Block marks direction d out of service (fault injection). Blockages
+// nest: each Block needs a matching Unblock. On a single rail, blocking
+// either direction blocks the whole rail — there is only one track.
+func (r *Rail) Block(d Direction) { *r.blockSlot(d)++ }
+
+// Unblock clears one blockage on direction d.
+func (r *Rail) Unblock(d Direction) {
+	if s := r.blockSlot(d); *s > 0 {
+		*s--
+	}
+}
+
+// Blocked reports whether direction d is out of service.
+func (r *Rail) Blocked(d Direction) bool { return *r.blockSlot(d) > 0 }
+
+// Reserve claims the rail for a cart travelling in direction d. Blocked
+// directions cannot be reserved.
 func (r *Rail) Reserve(id CartID, d Direction) error {
+	if r.Blocked(d) {
+		return fmt.Errorf("%w: %v rail blocked by a fault", ErrRailBlocked, d)
+	}
 	s := r.slot(d)
 	if *s != NoCart {
 		return fmt.Errorf("%w: cart %d holds the %v rail", ErrRailBusy, *s, d)
@@ -116,7 +149,7 @@ func (r *Rail) Release(id CartID, d Direction) error {
 }
 
 // Free reports whether direction d can be reserved.
-func (r *Rail) Free(d Direction) bool { return *r.slot(d) == NoCart }
+func (r *Rail) Free(d Direction) bool { return *r.slot(d) == NoCart && !r.Blocked(d) }
 
 // Occupant returns the cart holding direction d, or NoCart.
 func (r *Rail) Occupant(d Direction) CartID { return *r.slot(d) }
@@ -127,6 +160,9 @@ func (r *Rail) Occupant(d Direction) CartID { return *r.slot(d) }
 // past the cart being docked").
 type DockBank struct {
 	stations []CartID
+	// failed marks stations out of service (connector damage, fault
+	// injection); a failed station accepts no new docks until repaired.
+	failed []bool
 	// midDock is the cart currently transitioning (docking or undocking),
 	// blocking the rail through the bank; NoCart when clear.
 	midDock CartID
@@ -141,17 +177,54 @@ func NewDockBank(n int) (*DockBank, error) {
 	for i := range s {
 		s[i] = NoCart
 	}
-	return &DockBank{stations: s, midDock: NoCart}, nil
+	return &DockBank{stations: s, failed: make([]bool, n), midDock: NoCart}, nil
 }
 
 // Stations returns the number of docking stations.
 func (b *DockBank) Stations() int { return len(b.stations) }
 
-// FreeStations returns how many stations are unoccupied.
+// FreeStations returns how many in-service stations are unoccupied.
 func (b *DockBank) FreeStations() int {
 	n := 0
-	for _, s := range b.stations {
-		if s == NoCart {
+	for i, s := range b.stations {
+		if s == NoCart && !b.failed[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// FailStation takes station i out of service (fault injection). An
+// occupant, if any, remains docked — it can still undock, but the station
+// accepts no new carts until RepairStation. The occupant (or NoCart) is
+// returned so the caller can flag its connector for service.
+func (b *DockBank) FailStation(i int) (CartID, error) {
+	if i < 0 || i >= len(b.stations) {
+		return NoCart, fmt.Errorf("%w: %d of %d", ErrBadStation, i, len(b.stations))
+	}
+	b.failed[i] = true
+	return b.stations[i], nil
+}
+
+// RepairStation returns station i to service.
+func (b *DockBank) RepairStation(i int) error {
+	if i < 0 || i >= len(b.stations) {
+		return fmt.Errorf("%w: %d of %d", ErrBadStation, i, len(b.stations))
+	}
+	b.failed[i] = false
+	return nil
+}
+
+// StationFailed reports whether station i is out of service.
+func (b *DockBank) StationFailed(i int) bool {
+	return i >= 0 && i < len(b.stations) && b.failed[i]
+}
+
+// FailedStations returns how many stations are out of service.
+func (b *DockBank) FailedStations() int {
+	n := 0
+	for _, f := range b.failed {
+		if f {
 			n++
 		}
 	}
@@ -173,11 +246,15 @@ func (b *DockBank) BeginDock(id CartID) (int, error) {
 		}
 	}
 	for i, s := range b.stations {
-		if s == NoCart {
+		if s == NoCart && !b.failed[i] {
 			b.stations[i] = id
 			b.midDock = id
 			return i, nil
 		}
+	}
+	if b.FailedStations() > 0 {
+		return 0, fmt.Errorf("%w: %d in-service stations occupied, %d failed",
+			ErrDockFull, len(b.stations)-b.FailedStations(), b.FailedStations())
 	}
 	return 0, ErrDockFull
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Chaos determinism smoke: every named scenario, replayed twice from the
+# same seed, must produce byte-identical output — stats, availability
+# report, and the full fault event log. This is the executable form of the
+# fault engine's determinism contract (see DESIGN.md, "Fault model").
+#
+# Usage: scripts/chaos.sh [seed]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seed="${1:-1337}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== building dhlsim"
+go build -o "$tmp/dhlsim" ./cmd/dhlsim
+
+scenarios="ssd-storm leaky-tube blocked-track brownout rough-day"
+for sc in $scenarios; do
+    echo "== chaos $sc (seed $seed): replay byte-identity"
+    "$tmp/dhlsim" -chaos "$sc" -seed "$seed" -read -fault-log >"$tmp/$sc.a"
+    "$tmp/dhlsim" -chaos "$sc" -seed "$seed" -read -fault-log >"$tmp/$sc.b"
+    if ! cmp -s "$tmp/$sc.a" "$tmp/$sc.b"; then
+        echo "FAIL: $sc replay diverged:" >&2
+        diff "$tmp/$sc.a" "$tmp/$sc.b" >&2 || true
+        exit 1
+    fi
+done
+
+echo "== failure-rate sweep (seed $seed): replay byte-identity"
+"$tmp/dhlsim" -failure-sweep "0,0.1,0.3" -seed "$seed" -read >"$tmp/sweep.a"
+"$tmp/dhlsim" -failure-sweep "0,0.1,0.3" -seed "$seed" -read >"$tmp/sweep.b"
+cmp -s "$tmp/sweep.a" "$tmp/sweep.b" || { echo "FAIL: sweep replay diverged" >&2; exit 1; }
+
+echo "OK: all scenarios replay byte-identically"
