@@ -29,6 +29,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/thermal"
 	"repro/internal/track"
 	"repro/internal/units"
@@ -354,6 +355,63 @@ func BenchmarkShuttleArmedEmptyScript(b *testing.B) {
 		}
 		if res.Deliveries != 10 {
 			b.Fatal("bad deliveries")
+		}
+	}
+}
+
+// BenchmarkShuttleTelemetryDisabled is the uninstrumented baseline for the
+// telemetry overhead comparison: the BenchmarkShuttleNoFaults workload with
+// no telemetry set attached. Every hook on this path is a nil-receiver
+// no-op; the acceptance target holds this within 1 % of the pre-telemetry
+// throughput.
+func BenchmarkShuttleTelemetryDisabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opt := dhlsys.DefaultOptions()
+		opt.NumCarts = 4
+		sys, err := dhlsys.New(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Shuttle(dhlsys.ShuttleOptions{
+			Dataset:        10 * 256 * units.TB,
+			ReadAtEndpoint: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Deliveries != 10 {
+			b.Fatal("bad deliveries")
+		}
+	}
+}
+
+// BenchmarkShuttleTelemetryEnabled measures full instrumentation cost: the
+// same workload with metrics and span tracing live. Set construction and
+// the final snapshot are part of the measured path — an instrumented run
+// pays for both exactly once.
+func BenchmarkShuttleTelemetryEnabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opt := dhlsys.DefaultOptions()
+		opt.NumCarts = 4
+		opt.Telemetry = telemetry.NewSet()
+		sys, err := dhlsys.New(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Shuttle(dhlsys.ShuttleOptions{
+			Dataset:        10 * 256 * units.TB,
+			ReadAtEndpoint: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Deliveries != 10 {
+			b.Fatal("bad deliveries")
+		}
+		if snap := sys.MetricsSnapshot(); len(snap.Counters) == 0 {
+			b.Fatal("instrumented run produced no counters")
 		}
 	}
 }

@@ -1,10 +1,13 @@
 // Command dhlserve runs the §III-D control plane: a TCP server exposing a
-// simulated DHL deployment's Open/Close/Read/Write/Status API as
-// newline-delimited JSON.
+// simulated DHL deployment's Open/Close/Read/Write/Status/Metrics API as
+// newline-delimited JSON. Telemetry is always on: status responses carry
+// the metrics snapshot, and the metrics op returns the Prometheus text
+// exposition of the deployment's registry.
 //
 // Usage:
 //
 //	dhlserve [-addr 127.0.0.1:7070] [-carts N] [-docks N] [-dual]
+//	         [-pprof ADDR]
 //
 // Example session (one JSON object per line):
 //
@@ -12,17 +15,21 @@
 //	{"op":"read","cart":0,"bytes":1e12}
 //	{"op":"close","cart":0}
 //	{"op":"status"}
+//	{"op":"metrics"}
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 
 	"repro/internal/controlplane"
 	"repro/internal/dhlsys"
+	"repro/internal/telemetry"
 	"repro/internal/track"
 )
 
@@ -30,18 +37,36 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dhlserve: ")
 	var (
-		addr  = flag.String("addr", "127.0.0.1:7070", "listen address")
-		carts = flag.Int("carts", 2, "fleet size")
-		docks = flag.Int("docks", 4, "endpoint docking stations")
-		dual  = flag.Bool("dual", false, "dual-rail track")
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		carts     = flag.Int("carts", 2, "fleet size")
+		docks     = flag.Int("docks", 4, "endpoint docking stations")
+		dual      = flag.Bool("dual", false, "dual-rail track")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof profiles on this address (e.g. 127.0.0.1:6060); empty disables")
 	)
 	flag.Parse()
 
 	opt := dhlsys.DefaultOptions()
 	opt.NumCarts = *carts
 	opt.DockStations = *docks
+	opt.Telemetry = telemetry.NewSet()
 	if *dual {
 		opt.RailMode = track.DualRail
+	}
+
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		//dhllint:allow goroutine -- wall-clock profiling endpoint; the simulation stays single-threaded behind the control plane
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+		fmt.Printf("pprof profiles on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 	sys, err := dhlsys.New(opt)
 	if err != nil {

@@ -10,12 +10,17 @@
 //	       [-failure-rate F] [-seed N] [-raid5]
 //	       [-chaos NAME] [-horizon S] [-fault-log] [-strict]
 //	       [-timeout S] [-backoff S] [-failure-sweep R1,R2,...]
+//	       [-metrics] [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -23,6 +28,7 @@ import (
 	"repro/internal/dhlsys"
 	"repro/internal/faults"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/track"
 	"repro/internal/units"
 )
@@ -47,6 +53,10 @@ func main() {
 		timeoutS  = flag.Float64("timeout", 0, "launch timeout in seconds; slower launches report an error (0 = none)")
 		backoffS  = flag.Float64("backoff", 0, "initial delivery retry backoff in seconds, doubling per failure (0 = immediate)")
 		sweepSpec = flag.String("failure-sweep", "", "comma-separated failure rates: print the availability-vs-failure-rate table and exit")
+		metrics   = flag.Bool("metrics", false, "collect telemetry and print the metrics summary and span rollup after the run")
+		traceOut  = flag.String("trace-out", "", "collect telemetry and write a Chrome trace_event JSON file of the run")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	if *datasetPB <= 0 {
@@ -97,9 +107,19 @@ func main() {
 		script, err := faults.Scenario(*chaos, *seed, h,
 			opt.NumCarts, opt.DockStations, opt.Core.Cart.Config.NumSSDs)
 		if err != nil {
+			if errors.Is(err, faults.ErrUnknownScenario) {
+				log.Fatal(unknownChaosMessage(err))
+			}
 			log.Fatal(err)
 		}
 		opt.Faults = &script
+	}
+
+	// Telemetry is opt-in: an uninstrumented run pays only nil checks.
+	var set *telemetry.Set
+	if *metrics || *traceOut != "" {
+		set = telemetry.NewSet()
+		opt.Telemetry = set
 	}
 
 	sys, err := dhlsys.New(opt)
@@ -107,7 +127,19 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
 	res, err := sys.Shuttle(dhlsys.ShuttleOptions{Dataset: dataset, ReadAtEndpoint: *read})
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -142,6 +174,38 @@ func main() {
 
 	fmt.Printf("\nAnalytical model (sequential, no reads): %v, %v\n", an.Time, an.Energy)
 	fmt.Printf("Simulated vs analytical duration: %.3fx\n", float64(res.Duration)/float64(an.Time))
+
+	if *metrics {
+		fmt.Println("\nTelemetry:")
+		fmt.Print(telemetry.SummaryTable(sys.MetricsSnapshot()))
+		if rollup := telemetry.SpanSummary(set.Spans); rollup != "" {
+			fmt.Println()
+			fmt.Print(rollup)
+		}
+	}
+	if *traceOut != "" {
+		b, err := telemetry.ChromeTrace(set.Spans)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*traceOut, b, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nChrome trace (%d span-log entries) written to %s\n", set.Spans.Len(), *traceOut)
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 func scenarioLabel(name string) string {
@@ -149,6 +213,30 @@ func scenarioLabel(name string) string {
 		return "stochastic only"
 	}
 	return "scenario " + name
+}
+
+// chaosScenarios pairs every valid -chaos value with its one-line
+// description, in faults.ScenarioNames order (a unit test keeps the two in
+// lockstep).
+var chaosScenarios = []struct{ name, desc string }{
+	{faults.ScenarioSSDStorm, "a burst of in-flight SSD deaths"},
+	{faults.ScenarioLeakyTube, "repeated vacuum leaks of varying severity"},
+	{faults.ScenarioBlockedTrack, "cart stalls and debris on the rail"},
+	{faults.ScenarioBrownout, "LIM power losses and dock-station failures"},
+	{faults.ScenarioRoughDay, "all of the above at once, at lower per-kind rates"},
+}
+
+// unknownChaosMessage renders the fatal message for an unrecognised -chaos
+// value: the error itself plus one usage line per valid scenario.
+func unknownChaosMessage(err error) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v\n", err)
+	b.WriteString("valid -chaos scenarios:\n")
+	for _, s := range chaosScenarios {
+		fmt.Fprintf(&b, "  %-14s %s\n", s.name, s.desc)
+	}
+	b.WriteString("replay any scenario byte-identically with -chaos NAME -seed N")
+	return b.String()
 }
 
 // failureSweep prints the availability-vs-failure-rate table: one fresh

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dhlsys"
 	"repro/internal/faults"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/track"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -139,6 +140,71 @@ func chaosRun(t *testing.T, scenario string, seed int64) string {
 	}
 	return fmt.Sprintf("%s\n%+v\n%+v\n%v",
 		strings.Join(s.FaultLog(), "\n"), res, s.Stats(), s.Report())
+}
+
+// telemetryChaosRun executes one instrumented chaos shuttle and returns the
+// serialized metrics snapshot and Chrome trace export — the two telemetry
+// artefacts whose byte-identity the exporters guarantee.
+func telemetryChaosRun(t *testing.T, scenario string, seed int64) (string, string) {
+	t.Helper()
+	opt := dhlsys.DefaultOptions()
+	opt.Seed = seed
+	opt.Telemetry = telemetry.NewSet()
+	script, err := faults.Scenario(scenario, seed, 60,
+		opt.NumCarts, opt.DockStations, opt.Core.Cart.Config.NumSSDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Faults = &script
+	s, err := dhlsys.New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Shuttle(dhlsys.ShuttleOptions{
+		Dataset:        4 * 256 * units.TB,
+		ReadAtEndpoint: true,
+	}); err != nil {
+		t.Fatalf("%s: %v", scenario, err)
+	}
+	snap := serialize(t, s.MetricsSnapshot())
+	trace, err := telemetry.ChromeTrace(opt.Telemetry.Spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap, string(trace)
+}
+
+// TestTelemetryExportsAreByteIdenticalAcrossRuns pins the telemetry
+// determinism contract: two instrumented runs of the same (scenario, seed)
+// must serialize to the same metrics-snapshot JSON and the same Chrome
+// trace bytes, making exports diffable artefacts like every other report.
+func TestTelemetryExportsAreByteIdenticalAcrossRuns(t *testing.T) {
+	for _, scenario := range faults.ScenarioNames() {
+		snap1, trace1 := telemetryChaosRun(t, scenario, 1337)
+		snap2, trace2 := telemetryChaosRun(t, scenario, 1337)
+		if snap1 != snap2 {
+			t.Errorf("chaos scenario %s: metrics snapshots differ between runs:\n%s\nvs\n%s",
+				scenario, snap1, snap2)
+		}
+		if trace1 != trace2 {
+			t.Errorf("chaos scenario %s: Chrome traces differ between runs:\n%s\nvs\n%s",
+				scenario, trace1, trace2)
+		}
+		// Prometheus text is derived from the snapshot; a cheap extra pin.
+		if p1, p2 := telemetry.PrometheusText(mustSnap(t, snap1)), telemetry.PrometheusText(mustSnap(t, snap2)); p1 != p2 {
+			t.Errorf("chaos scenario %s: Prometheus expositions differ", scenario)
+		}
+	}
+}
+
+// mustSnap round-trips a serialized snapshot back into the struct.
+func mustSnap(t *testing.T, s string) telemetry.Snapshot {
+	t.Helper()
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(s), &snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
 }
 
 func TestChaosScenariosAreByteIdenticalAcrossRuns(t *testing.T) {

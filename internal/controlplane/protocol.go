@@ -16,19 +16,25 @@ import (
 	"fmt"
 
 	"repro/internal/dhlsys"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
 // Op is a §III-D API command.
 type Op string
 
-// The four paper commands plus an introspection op.
+// The four paper commands plus two introspection ops.
 const (
 	OpOpen   Op = "open"
 	OpClose  Op = "close"
 	OpRead   Op = "read"
 	OpWrite  Op = "write"
 	OpStatus Op = "status"
+	// OpMetrics returns the deployment's telemetry snapshot rendered as
+	// Prometheus text exposition (Response.Text). It fails with
+	// CodeNoTelemetry when the wrapped system was built without a
+	// telemetry set.
+	OpMetrics Op = "metrics"
 )
 
 // Request is one client command.
@@ -42,7 +48,7 @@ type Request struct {
 // Validate checks the request shape.
 func (r Request) Validate() error {
 	switch r.Op {
-	case OpOpen, OpClose, OpStatus:
+	case OpOpen, OpClose, OpStatus, OpMetrics:
 		return nil
 	case OpRead, OpWrite:
 		if r.Bytes <= 0 {
@@ -66,6 +72,11 @@ type Response struct {
 	OpSeconds float64 `json:"op_seconds,omitempty"`
 	// Stats is included for status requests.
 	Stats *StatsJSON `json:"stats,omitempty"`
+	// Metrics is the telemetry snapshot, included for status requests when
+	// the wrapped system carries a telemetry set.
+	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
+	// Text carries the Prometheus exposition for metrics requests.
+	Text string `json:"text,omitempty"`
 }
 
 // StatsJSON mirrors dhlsys.Stats plus the availability report for the wire.

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/dhlsys"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/track"
 	"repro/internal/units"
 )
@@ -202,10 +203,31 @@ func (s *Server) handle(req Request) Response {
 	defer s.release()
 
 	if req.Op == OpStatus {
-		return Response{
+		resp := Response{
 			OK:      true,
 			SimTime: float64(s.sys.Engine.Now()),
 			Stats:   statsJSON(s.sys.Report()),
+		}
+		if s.sys.Telemetry() != nil {
+			snap := s.sys.MetricsSnapshot()
+			resp.Metrics = &snap
+		}
+		return resp
+	}
+
+	if req.Op == OpMetrics {
+		if s.sys.Telemetry() == nil {
+			return Response{
+				OK:      false,
+				Error:   "controlplane: system has no telemetry set",
+				Code:    CodeNoTelemetry,
+				SimTime: float64(s.sys.Engine.Now()),
+			}
+		}
+		return Response{
+			OK:      true,
+			SimTime: float64(s.sys.Engine.Now()),
+			Text:    telemetry.PrometheusText(s.sys.MetricsSnapshot()),
 		}
 	}
 
@@ -298,6 +320,9 @@ const (
 	CodeStationFailed = "station-failed"
 	// CodeStorage: a storage-layer bounds error.
 	CodeStorage = "storage"
+	// CodeNoTelemetry: a metrics request against a system built without a
+	// telemetry set.
+	CodeNoTelemetry = "no-telemetry"
 	// CodeError: unclassified failure.
 	CodeError = "error"
 )
@@ -388,6 +413,12 @@ func (c *Client) Write(cart int, b units.Bytes) (Response, error) {
 // Status fetches the deployment counters.
 func (c *Client) Status() (Response, error) {
 	return c.Do(Request{Op: OpStatus})
+}
+
+// Metrics fetches the Prometheus text exposition of the deployment's
+// telemetry registry.
+func (c *Client) Metrics() (Response, error) {
+	return c.Do(Request{Op: OpMetrics})
 }
 
 // Close closes the connection.

@@ -161,10 +161,12 @@ func (s *System) Shuttle(opt ShuttleOptions) (ShuttleResult, error) {
 					next := loop
 					if delivered {
 						res.Deliveries++
+						s.tel.deliveries.Inc()
 						consecFails = 0
 					} else {
 						claimed-- // slot back for redelivery
 						res.Retries++
+						s.tel.retries.Inc()
 						if res.Retries > maxRetries {
 							fatal = fmt.Errorf("%w: %d retries", ErrRetriesExhausted, res.Retries)
 							return
@@ -172,6 +174,7 @@ func (s *System) Shuttle(opt ShuttleOptions) (ShuttleResult, error) {
 						if b := s.backoffDelay(consecFails); b > 0 {
 							s.stats.Backoffs++
 							s.stats.BackoffWait += b
+							s.tel.backoffs.Inc()
 							next = func() { s.Engine.MustAfter(b, "retry-backoff", loop) }
 						}
 						consecFails++

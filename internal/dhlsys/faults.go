@@ -2,9 +2,11 @@ package dhlsys
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/faults"
 	"repro/internal/physics"
+	"repro/internal/telemetry"
 	"repro/internal/track"
 	"repro/internal/units"
 )
@@ -126,6 +128,10 @@ type launchDynamics struct {
 	transit  units.Seconds
 	energy   units.Joules
 	degraded bool
+	// ramp is the time to accelerate from rest to cruise speed (= braking
+	// time), used by telemetry to decompose the transit span into
+	// accel/cruise/brake phases.
+	ramp units.Seconds
 }
 
 // dynamics computes the current launch physics. With no leak open the
@@ -134,11 +140,15 @@ type launchDynamics struct {
 // agree with the closed form. While a vacuum leak is open, that assumption
 // breaks: cruise speed is capped by the drag margin at the leak pressure.
 func (s *System) dynamics() launchDynamics {
-	base := launchDynamics{transit: s.transitTime(), energy: s.launch.Energy}
+	cfg := s.opt.Core
+	base := launchDynamics{
+		transit: s.transitTime(),
+		energy:  s.launch.Energy,
+		ramp:    units.Seconds(float64(cfg.MaxSpeed) / float64(cfg.Acceleration)),
+	}
 	if len(s.leaks) == 0 {
 		return base
 	}
-	cfg := s.opt.Core
 	v := physics.DegradedCruiseSpeed(s.effectiveTube(), cfg.Cart.TotalMass,
 		cfg.Acceleration, cfg.MaxSpeed, s.opt.Recovery.VacuumMargin)
 	if v >= cfg.MaxSpeed {
@@ -154,6 +164,7 @@ func (s *System) dynamics() launchDynamics {
 		transit:  p.TransitTime(cfg.TimeModel),
 		energy:   cfg.LIM.LaunchEnergy(cfg.Cart.TotalMass, v),
 		degraded: true,
+		ramp:     units.Seconds(float64(v) / float64(cfg.Acceleration)),
 	}
 	if d.transit < base.transit {
 		d.transit = base.transit
@@ -192,6 +203,9 @@ func (s *System) stallCart(c *Cart, delay units.Seconds) {
 	c.transitEv = ev
 	s.stats.Stalls++
 	s.stats.StallTime += delay
+	s.tel.stalls.Inc()
+	s.tel.spans.Mark(c.spanTrack, "stall", s.Engine.Now(),
+		telemetry.KV{Key: "delay_s", Value: strconv.FormatFloat(float64(delay), 'g', -1, 64)})
 }
 
 // FaultLog returns the run's fault event log in simulation-time order —

@@ -22,6 +22,7 @@ import (
 	"repro/internal/physics"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/track"
 	"repro/internal/units"
 )
@@ -68,6 +69,11 @@ type Options struct {
 	// Tube overrides the vacuum tube model (zero value = physics
 	// DefaultTube at rough vacuum). Vacuum-leak faults raise its pressure.
 	Tube physics.Tube
+	// Telemetry, if non-nil, instruments the whole deployment: metrics on
+	// the set's registry, cart lifecycle spans and fault marks on its span
+	// log. Nil (the default) disables instrumentation entirely — the hot
+	// paths then pay only nil checks.
+	Telemetry *telemetry.Set
 }
 
 // RecoveryPolicy configures how the system ameliorates faults (§III-D:
@@ -156,6 +162,8 @@ type Cart struct {
 	// launchStart is when the current launch acquired its resources
 	// (launch-timeout accounting).
 	launchStart units.Seconds
+	// spanTrack is the cart's telemetry track name ("cart-N").
+	spanTrack string
 }
 
 // Stats accumulates simulation-wide accounting.
@@ -227,6 +235,11 @@ type System struct {
 	// by Shuttle when endpoint reads are requested, so that carts whose
 	// failed SSDs were serviced leave fully loaded again.
 	autoReload bool
+
+	// Telemetry (optional): the set handed in via Options and the
+	// precomputed handles the hot paths touch (all nil when disabled).
+	telSet *telemetry.Set
+	tel    telemetryHooks
 }
 
 // New builds a system with the fleet parked at the library.
@@ -275,7 +288,7 @@ func New(opt Options) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.carts[id] = &Cart{ID: id, Array: arr, Loc: AtLibrary}
+		s.carts[id] = &Cart{ID: id, Array: arr, Loc: AtLibrary, spanTrack: cartTrack(id)}
 		if err := s.lib.Store(id); err != nil {
 			return nil, err
 		}
@@ -295,6 +308,7 @@ func New(opt Options) (*System, error) {
 	if err := inj.Arm(); err != nil {
 		return nil, err
 	}
+	s.initTelemetry(opt.Telemetry)
 	return s, nil
 }
 
@@ -334,6 +348,7 @@ func (s *System) enqueue(try func() bool) {
 		return
 	}
 	s.stats.Queued++
+	s.tel.queued.Inc()
 	s.waiting = append(s.waiting, try)
 }
 
@@ -375,21 +390,22 @@ func (s *System) launchDirection(natural track.Direction) (dir track.Direction, 
 func (s *System) Open(id track.CartID, done func(error)) {
 	c, ok := s.carts[id]
 	if !ok {
-		s.stats.Denied++
+		s.deny()
 		done(fmt.Errorf("%w: %d", ErrUnknownCart, id))
 		return
 	}
 	if c.Busy {
-		s.stats.Denied++
+		s.deny()
 		done(fmt.Errorf("%w: cart %d", ErrCartBusy, id))
 		return
 	}
 	if c.Loc != AtLibrary {
-		s.stats.Denied++
+		s.deny()
 		done(fmt.Errorf("%w: cart %d at %v", ErrNotAtLibrary, id, c.Loc))
 		return
 	}
 	c.Busy = true
+	reqAt := s.Engine.Now()
 	s.enqueue(func() bool {
 		// Need: the outbound LIM energised, a usable rail direction, and a
 		// free in-service station with no mid-dock cart.
@@ -404,7 +420,7 @@ func (s *System) Open(id track.CartID, done func(error)) {
 			return false
 		}
 		if reroute {
-			s.stats.Reroutes++
+			s.markReroute(c, dir)
 		}
 		if err := s.lib.Remove(id); err != nil {
 			// Programming error; surface it.
@@ -413,6 +429,7 @@ func (s *System) Open(id track.CartID, done func(error)) {
 			done(err)
 			return true
 		}
+		s.recordQueueWait(c, "open", reqAt)
 		s.runOutbound(c, dir, done)
 		return true
 	})
@@ -426,12 +443,19 @@ func (s *System) runOutbound(c *Cart, dir track.Direction, done func(error)) {
 	c.launchStart = s.Engine.Now()
 	s.Engine.MustAfter(s.opt.Core.UndockTime, "undock@library", func() {
 		s.stats.DockOps++
+		s.tel.dockOps.Inc()
+		s.tel.spans.Span(c.spanTrack, "undock", c.launchStart, s.Engine.Now(),
+			telemetry.KV{Key: "site", Value: "library"})
 		s.maybeFailSSD(c)
 		dyn := s.dynamics()
 		if dyn.degraded {
 			s.stats.DegradedLaunches++
+			s.tel.degradedLaunches.Inc()
 		}
+		depart := s.Engine.Now()
 		s.scheduleTransit(c, dyn.transit, "transit-out", dir, func() {
+			s.recordTransit(c, depart, s.Engine.Now(), dyn, dir)
+			arrive := s.Engine.Now()
 			// A station free at reservation time may have failed in flight;
 			// the cart loiters at the bank (holding its rail slot) until a
 			// station is repaired or freed.
@@ -443,11 +467,18 @@ func (s *System) runOutbound(c *Cart, dir track.Direction, done func(error)) {
 				if _, err := s.dock.BeginDock(c.ID); err != nil {
 					return false
 				}
+				if s.tel.spans != nil && arrive < s.Engine.Now() {
+					s.tel.spans.Span(c.spanTrack, "loiter", arrive, s.Engine.Now())
+				}
+				dockStart := s.Engine.Now()
 				s.Engine.MustAfter(s.opt.Core.DockTime, "dock@endpoint", func() {
 					if err := s.dock.EndDock(c.ID); err != nil {
 						panic(err)
 					}
 					s.stats.DockOps++
+					s.tel.dockOps.Inc()
+					s.tel.spans.Span(c.spanTrack, "dock", dockStart, s.Engine.Now(),
+						telemetry.KV{Key: "site", Value: "endpoint"})
 					if s.opt.Wear != nil {
 						// Endpoint mating cycle; service is deferred to the
 						// library (§III-B.6).
@@ -455,8 +486,7 @@ func (s *System) runOutbound(c *Cart, dir track.Direction, done func(error)) {
 							panic(err)
 						}
 					}
-					s.stats.Launches++
-					s.stats.Energy += dyn.energy
+					s.recordLaunch(c, dyn)
 					if err := s.rail.Release(c.ID, dir); err != nil {
 						panic(err)
 					}
@@ -487,6 +517,8 @@ func (s *System) checkLaunchTimeout(c *Cart) error {
 		return nil
 	}
 	s.stats.Timeouts++
+	s.tel.timeouts.Inc()
+	s.tel.spans.Mark(c.spanTrack, "timeout", s.Engine.Now())
 	return fmt.Errorf("%w: cart %d took %.3fs (budget %.3fs)",
 		ErrLaunchTimeout, c.ID, float64(elapsed), float64(limit))
 }
@@ -496,21 +528,22 @@ func (s *System) checkLaunchTimeout(c *Cart) error {
 func (s *System) Close(id track.CartID, done func(error)) {
 	c, ok := s.carts[id]
 	if !ok {
-		s.stats.Denied++
+		s.deny()
 		done(fmt.Errorf("%w: %d", ErrUnknownCart, id))
 		return
 	}
 	if c.Busy {
-		s.stats.Denied++
+		s.deny()
 		done(fmt.Errorf("%w: cart %d", ErrCartBusy, id))
 		return
 	}
 	if c.Loc != AtDock || !s.dock.Docked(id) {
-		s.stats.Denied++
+		s.deny()
 		done(fmt.Errorf("%w: cart %d at %v", ErrNotDocked, id, c.Loc))
 		return
 	}
 	c.Busy = true
+	reqAt := s.Engine.Now()
 	s.enqueue(func() bool {
 		if !s.limUp(track.Inbound) || s.dock.Blocked() {
 			return false
@@ -523,7 +556,7 @@ func (s *System) Close(id track.CartID, done func(error)) {
 			return false
 		}
 		if reroute {
-			s.stats.Reroutes++
+			s.markReroute(c, dir)
 		}
 		if err := s.dock.BeginUndock(id); err != nil {
 			s.rail.Release(id, dir)
@@ -531,6 +564,7 @@ func (s *System) Close(id track.CartID, done func(error)) {
 			done(err)
 			return true
 		}
+		s.recordQueueWait(c, "close", reqAt)
 		s.runInbound(c, dir, done)
 		return true
 	})
@@ -545,17 +579,26 @@ func (s *System) runInbound(c *Cart, dir track.Direction, done func(error)) {
 			panic(err)
 		}
 		s.stats.DockOps++
+		s.tel.dockOps.Inc()
+		s.tel.spans.Span(c.spanTrack, "undock", c.launchStart, s.Engine.Now(),
+			telemetry.KV{Key: "site", Value: "endpoint"})
 		c.Loc = InTransit
 		s.maybeFailSSD(c)
 		dyn := s.dynamics()
 		if dyn.degraded {
 			s.stats.DegradedLaunches++
+			s.tel.degradedLaunches.Inc()
 		}
+		depart := s.Engine.Now()
 		s.scheduleTransit(c, dyn.transit, "transit-in", dir, func() {
+			s.recordTransit(c, depart, s.Engine.Now(), dyn, dir)
+			dockStart := s.Engine.Now()
 			s.Engine.MustAfter(s.opt.Core.DockTime, "dock@library", func() {
 				s.stats.DockOps++
-				s.stats.Launches++
-				s.stats.Energy += dyn.energy
+				s.tel.dockOps.Inc()
+				s.tel.spans.Span(c.spanTrack, "dock", dockStart, s.Engine.Now(),
+					telemetry.KV{Key: "site", Value: "library"})
+				s.recordLaunch(c, dyn)
 				if err := s.rail.Release(c.ID, dir); err != nil {
 					panic(err)
 				}
@@ -661,23 +704,23 @@ func (s *System) Write(id track.CartID, n units.Bytes, done func(units.Seconds, 
 func (s *System) transferOp(id track.CartID, n units.Bytes, done func(units.Seconds, error), isRead bool) {
 	c, ok := s.carts[id]
 	if !ok {
-		s.stats.Denied++
+		s.deny()
 		done(0, fmt.Errorf("%w: %d", ErrUnknownCart, id))
 		return
 	}
 	if c.Busy {
-		s.stats.Denied++
+		s.deny()
 		done(0, fmt.Errorf("%w: cart %d", ErrCartBusy, id))
 		return
 	}
 	if c.Loc != AtDock || !s.dock.Docked(id) {
-		s.stats.Denied++
+		s.deny()
 		done(0, fmt.Errorf("%w: cart %d at %v", ErrNotDocked, id, c.Loc))
 		return
 	}
 	if !c.Array.Healthy() {
 		if !isRead || s.opt.Recovery.StrictSSD {
-			s.stats.Denied++
+			s.deny()
 			done(0, fmt.Errorf("%w: cart %d", ErrCartFailed, id))
 			return
 		}
@@ -692,18 +735,25 @@ func (s *System) transferOp(id track.CartID, n units.Bytes, done func(units.Seco
 		d, err = c.Array.Write(n)
 	}
 	if err != nil {
-		s.stats.Denied++
+		s.deny()
 		done(0, err)
 		return
 	}
 	c.Busy = true
+	name := "io-write"
 	if isRead {
 		s.stats.BytesRead += n
+		s.tel.bytesRead.Add(float64(n))
+		name = "io-read"
 	} else {
 		s.stats.BytesWritten += n
+		s.tel.bytesWritten.Add(float64(n))
 	}
+	ioStart := s.Engine.Now()
 	s.Engine.MustAfter(d, "io", func() {
 		c.Busy = false
+		s.tel.ioSeconds.Observe(float64(d))
+		s.tel.spans.Span(c.spanTrack, name, ioStart, s.Engine.Now())
 		done(d, nil)
 	})
 }
@@ -716,7 +766,7 @@ func (s *System) transferOp(id track.CartID, n units.Bytes, done func(units.Seco
 func (s *System) degradedRead(c *Cart, n units.Bytes, done func(units.Seconds, error)) {
 	used := c.Array.Used()
 	if n > used {
-		s.stats.Denied++
+		s.deny()
 		done(0, fmt.Errorf("%w: cart %d holds %v, %v requested", storage.ErrOutOfRange, c.ID, used, n))
 		return
 	}
@@ -727,7 +777,7 @@ func (s *System) degradedRead(c *Cart, n units.Bytes, done func(units.Seconds, e
 	}
 	d, err := c.Array.DegradedRead(serve)
 	if err != nil {
-		s.stats.Denied++
+		s.deny()
 		done(0, err)
 		return
 	}
@@ -735,8 +785,14 @@ func (s *System) degradedRead(c *Cart, n units.Bytes, done func(units.Seconds, e
 	s.stats.DegradedReads++
 	s.stats.DegradedBytes += serve
 	s.stats.BytesRead += serve
+	s.tel.degradedReads.Inc()
+	s.tel.bytesRead.Add(float64(serve))
+	ioStart := s.Engine.Now()
 	s.Engine.MustAfter(d, "io-degraded", func() {
 		c.Busy = false
+		s.tel.ioSeconds.Observe(float64(d))
+		s.tel.spans.Span(c.spanTrack, "io-degraded", ioStart, s.Engine.Now(),
+			telemetry.KV{Key: "degraded", Value: "true"})
 		done(d, fmt.Errorf("%w: cart %d served %v of %v", ErrDegradedRead, c.ID, serve, n))
 	})
 }

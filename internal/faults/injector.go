@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -90,6 +91,32 @@ type Injector struct {
 	active    int
 	openStart units.Seconds
 	downtime  units.Seconds
+
+	// Telemetry (optional, nil-safe): per-kind inject counters, a total,
+	// and instant marks + outage spans on the "faults" track.
+	telInjected  *telemetry.Counter
+	telRecovered *telemetry.Counter
+	telPerKind   [numKinds]*telemetry.Counter
+	telSpans     *telemetry.SpanLog
+}
+
+// FaultTrack is the span-log track name fault events land on.
+const FaultTrack = "faults"
+
+// SetTelemetry wires the injector to a telemetry set: every fault
+// increments dhl_faults_injected_total and its per-kind counter, repairs
+// increment dhl_faults_recovered_total, and the span log receives an
+// instant mark per phase plus an outage span per windowed fault. A nil
+// set (or nil fields) disables the corresponding output; call before
+// driving the simulation.
+func (in *Injector) SetTelemetry(set *telemetry.Set) {
+	reg := set.MetricsOf()
+	in.telInjected = reg.Counter("dhl_faults_injected_total")
+	in.telRecovered = reg.Counter("dhl_faults_recovered_total")
+	for k := 0; k < int(numKinds); k++ {
+		in.telPerKind[k] = reg.Counter("dhl_faults_" + Kind(k).String() + "_total")
+	}
+	in.telSpans = set.SpansOf()
 }
 
 // NewInjector builds an injector for one engine/target pair. The script
@@ -136,6 +163,11 @@ func (in *Injector) apply(f Fault) {
 	ks := &in.perKind[f.Kind]
 	ks.Kind = f.Kind
 	ks.Injected++
+	in.telInjected.Inc()
+	in.telPerKind[f.Kind].Inc()
+	in.telSpans.Mark(FaultTrack, f.Kind.String(), now,
+		telemetry.KV{Key: "phase", Value: string(PhaseInject)},
+		telemetry.KV{Key: "target", Value: f.target()})
 	if f.Duration > 0 {
 		if in.active == 0 {
 			in.openStart = now
@@ -154,6 +186,9 @@ func (in *Injector) recover(f Fault) {
 	ks := &in.perKind[f.Kind]
 	ks.Recovered++
 	ks.Downtime += f.Duration
+	in.telRecovered.Inc()
+	in.telSpans.Span(FaultTrack, "outage:"+f.Kind.String(), now-f.Duration, now,
+		telemetry.KV{Key: "target", Value: f.target()})
 	in.active--
 	if in.active == 0 {
 		in.downtime += now - in.openStart

@@ -380,6 +380,27 @@ func TestDedupeCollapsesSameSite(t *testing.T) {
 	}
 }
 
+// TestDefaultConfigCoversModelPackages pins the model-package roster: every
+// package whose outputs must be deterministic — telemetry included, since
+// its exports are byte-diffable artefacts — is subject to the determinism
+// and purity rules.
+func TestDefaultConfigCoversModelPackages(t *testing.T) {
+	cfg := DefaultConfig(moduleRoot(t), "repro")
+	want := []string{
+		"repro/internal/physics", "repro/internal/core", "repro/internal/sim",
+		"repro/internal/faults", "repro/internal/telemetry",
+	}
+	have := map[string]bool{}
+	for _, p := range cfg.ModelPackages {
+		have[p] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("DefaultConfig model packages missing %s", w)
+		}
+	}
+}
+
 func TestModulePackages(t *testing.T) {
 	pkgs, err := ModulePackages(moduleRoot(t), "repro")
 	if err != nil {

@@ -21,9 +21,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/track"
 	"repro/internal/units"
 )
@@ -50,6 +52,30 @@ type Line struct {
 	blocked []span
 	waiting []func() bool
 	stats   Stats
+
+	// Telemetry (optional, nil-safe): move accounting and per-move spans on
+	// "cart-N" tracks.
+	telMoves   *telemetry.Counter
+	telQueued  *telemetry.Counter
+	telBlocked *telemetry.Counter
+	telWait    *telemetry.Histogram
+	telSpans   *telemetry.SpanLog
+}
+
+// moveWaitBuckets is the queue-wait histogram layout, in seconds.
+var moveWaitBuckets = []float64{0.1, 1, 5, 10, 50, 100, 500, 1000}
+
+// SetTelemetry instruments the line: dhl_line_moves_total,
+// dhl_line_queued_moves_total, dhl_line_blocked_moves_total, the
+// dhl_line_move_wait_seconds histogram, and one span per completed move on
+// the cart's track. A nil set disables instrumentation.
+func (l *Line) SetTelemetry(set *telemetry.Set) {
+	reg := set.MetricsOf()
+	l.telMoves = reg.Counter("dhl_line_moves_total")
+	l.telQueued = reg.Counter("dhl_line_queued_moves_total")
+	l.telBlocked = reg.Counter("dhl_line_blocked_moves_total")
+	l.telWait = reg.Histogram("dhl_line_move_wait_seconds", moveWaitBuckets)
+	l.telSpans = set.SpansOf()
 }
 
 type span struct{ lo, hi int }
@@ -222,6 +248,7 @@ func (l *Line) Move(id track.CartID, to int, done func(error)) {
 				if !blockedOnce {
 					blockedOnce = true
 					l.stats.BlockedMoves++
+					l.telBlocked.Inc()
 				}
 				return false
 			}
@@ -236,12 +263,20 @@ func (l *Line) Move(id track.CartID, to int, done func(error)) {
 		l.busy[id] = true
 		wait := l.Engine.Now() - requested
 		l.stats.TotalWait += wait
+		l.telWait.Observe(float64(wait))
+		start := l.Engine.Now()
 		l.Engine.MustAfter(hop.MoveTime, "move", func() {
 			l.release(sp)
 			l.cartAt[id] = to
 			l.busy[id] = false
 			l.stats.Moves++
 			l.stats.Energy += hop.Energy
+			l.telMoves.Inc()
+			if l.telSpans != nil {
+				l.telSpans.Span("cart-"+strconv.Itoa(int(id)), "move", start, l.Engine.Now(),
+					telemetry.KV{Key: "from", Value: l.stops[from].Name},
+					telemetry.KV{Key: "to", Value: l.stops[to].Name})
+			}
 			l.retryWaiting()
 			done(nil)
 		})
@@ -251,6 +286,7 @@ func (l *Line) Move(id track.CartID, to int, done func(error)) {
 		return
 	}
 	l.stats.QueuedMoves++
+	l.telQueued.Inc()
 	l.waiting = append(l.waiting, tryStart)
 }
 

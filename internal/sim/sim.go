@@ -61,13 +61,20 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// tracerEntry is one registered tracer. The legacy flag marks the single
+// slot the deprecated SetTracer shim manages.
+type tracerEntry struct {
+	fn     func(Event)
+	legacy bool
+}
+
 // Engine is the simulation clock and event queue.
 type Engine struct {
 	now       units.Seconds
 	queue     eventHeap
 	seq       uint64
 	processed int
-	tracer    func(Event)
+	tracers   []tracerEntry
 }
 
 // New returns an engine at time 0.
@@ -79,8 +86,39 @@ func (e *Engine) Now() units.Seconds { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() int { return e.processed }
 
+// AddTracer appends a hook called before each event fires. Tracers are
+// additive and fire in registration order, so independent consumers —
+// fault logging, telemetry, debug prints — can observe the same engine
+// without clobbering each other. A nil fn is ignored.
+func (e *Engine) AddTracer(fn func(Event)) {
+	if fn == nil {
+		return
+	}
+	e.tracers = append(e.tracers, tracerEntry{fn: fn})
+}
+
 // SetTracer installs a hook called before each event fires (nil disables).
-func (e *Engine) SetTracer(fn func(Event)) { e.tracer = fn }
+//
+// Deprecated: SetTracer manages a single legacy slot — calling it again
+// replaces only the tracer it installed previously, at that tracer's
+// position in the chain; tracers registered with AddTracer are never
+// affected. New code should use AddTracer.
+func (e *Engine) SetTracer(fn func(Event)) {
+	for i := range e.tracers {
+		if !e.tracers[i].legacy {
+			continue
+		}
+		if fn == nil {
+			e.tracers = append(e.tracers[:i], e.tracers[i+1:]...)
+		} else {
+			e.tracers[i].fn = fn
+		}
+		return
+	}
+	if fn != nil {
+		e.tracers = append(e.tracers, tracerEntry{fn: fn, legacy: true})
+	}
+}
 
 // ErrPastEvent is returned when scheduling before the current time.
 var ErrPastEvent = errors.New("sim: cannot schedule event in the past")
@@ -137,8 +175,8 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.queue).(*Event)
 	e.now = ev.Time
-	if e.tracer != nil {
-		e.tracer(*ev)
+	for i := range e.tracers {
+		e.tracers[i].fn(*ev)
 	}
 	e.processed++
 	ev.fn()

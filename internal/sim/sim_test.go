@@ -193,6 +193,57 @@ func TestTracer(t *testing.T) {
 	}
 }
 
+func TestMultipleTracersFireInRegistrationOrder(t *testing.T) {
+	// The coexistence contract behind fault logging + telemetry: a legacy
+	// SetTracer consumer and any number of AddTracer consumers all observe
+	// every event, in the order they registered.
+	e := New()
+	var fired []string
+	e.SetTracer(func(ev Event) { fired = append(fired, "legacy:"+ev.Name) })
+	e.AddTracer(func(ev Event) { fired = append(fired, "first:"+ev.Name) })
+	e.AddTracer(func(ev Event) { fired = append(fired, "second:"+ev.Name) })
+	e.AddTracer(nil) // ignored
+	e.MustAfter(1, "a", func() {})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"legacy:a", "first:a", "second:a"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Errorf("fired[%d] = %q, want %q", i, fired[i], want[i])
+		}
+	}
+}
+
+func TestSetTracerShimReplacesOnlyItsSlot(t *testing.T) {
+	e := New()
+	var fired []string
+	e.SetTracer(func(ev Event) { fired = append(fired, "old") })
+	e.AddTracer(func(ev Event) { fired = append(fired, "added") })
+	// Replacing the legacy tracer keeps its position and the added tracer.
+	e.SetTracer(func(ev Event) { fired = append(fired, "new") })
+	e.MustAfter(1, "a", func() {})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != "new" || fired[1] != "added" {
+		t.Fatalf("fired = %v, want [new added]", fired)
+	}
+	// nil removes the legacy slot only.
+	fired = nil
+	e.SetTracer(nil)
+	e.MustAfter(1, "b", func() {})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != "added" {
+		t.Fatalf("after SetTracer(nil): fired = %v, want [added]", fired)
+	}
+}
+
 func TestMustAfterPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,260 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counter is a monotonically non-decreasing metric. The zero value is
+// ready; all methods are no-ops on a nil receiver.
+type Counter struct {
+	v float64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by delta; negative deltas are ignored
+// (counters are monotone by contract).
+func (c *Counter) Add(delta float64) {
+	if c == nil || delta < 0 {
+		return
+	}
+	c.v += delta
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a metric that can go up and down. The zero value is ready; all
+// methods are no-ops on a nil receiver.
+type Gauge struct {
+	v float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Add adjusts the gauge by delta (either sign).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	g.v += delta
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram counts observations into fixed buckets. Bounds are upper
+// bounds in ascending order; an implicit +Inf bucket catches the
+// overflow (its cumulative count equals Count). The zero value is unusable
+// — obtain histograms from a Registry, which fixes the bucket layout at
+// creation. All methods are no-ops on a nil receiver.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is the +Inf overflow
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Registry owns a flat namespace of metrics. Handles are created on first
+// use and live for the registry's lifetime; snapshots list metrics in
+// sorted name order, so serialisations are byte-deterministic regardless
+// of registration order. A nil *Registry hands out nil handles, making
+// the whole instrumentation path a no-op.
+//
+// The registry is not safe for concurrent use — it belongs to a
+// single-threaded simulation, matching the rest of the model stack.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	// Insertion-ordered name lists: snapshots sort copies of these rather
+	// than ranging the maps, keeping every output path order-stable.
+	counterNames []string
+	gaugeNames   []string
+	histNames    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.counterNames = append(r.counterNames, name)
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil (a
+// no-op handle) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.gaugeNames = append(r.gaugeNames, name)
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use. Bounds must be ascending and
+// non-empty; a later call with different bounds panics (one layout per
+// name, fixed for the run). Returns nil (a no-op handle) on a nil
+// registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("telemetry: histogram %q needs at least one bucket bound", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not ascending at index %d", name, i))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	r.histNames = append(r.histNames, name)
+	return h
+}
+
+// CounterPoint is one counter in a snapshot.
+type CounterPoint struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// GaugePoint is one gauge in a snapshot.
+type GaugePoint struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// BucketPoint is one cumulative histogram bucket: the count of
+// observations ≤ UpperBound. The implicit +Inf bucket is not listed — its
+// cumulative count is the histogram's Count.
+type BucketPoint struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// HistogramPoint is one histogram in a snapshot.
+type HistogramPoint struct {
+	Name    string        `json:"name"`
+	Buckets []BucketPoint `json:"buckets"`
+	Sum     float64       `json:"sum"`
+	Count   uint64        `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a registry, with every section in
+// sorted name order. Marshalling a snapshot (JSON or any exporter in this
+// package) is byte-deterministic for a given simulation history.
+type Snapshot struct {
+	Counters   []CounterPoint   `json:"counters,omitempty"`
+	Gauges     []GaugePoint     `json:"gauges,omitempty"`
+	Histograms []HistogramPoint `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state. A nil registry yields
+// the zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	var s Snapshot
+	for _, name := range sortedCopy(r.counterNames) {
+		s.Counters = append(s.Counters, CounterPoint{Name: name, Value: r.counters[name].v})
+	}
+	for _, name := range sortedCopy(r.gaugeNames) {
+		s.Gauges = append(s.Gauges, GaugePoint{Name: name, Value: r.gauges[name].v})
+	}
+	for _, name := range sortedCopy(r.histNames) {
+		h := r.hists[name]
+		hp := HistogramPoint{Name: name, Sum: h.sum, Count: h.count}
+		cum := uint64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			hp.Buckets = append(hp.Buckets, BucketPoint{UpperBound: b, Count: cum})
+		}
+		s.Histograms = append(s.Histograms, hp)
+	}
+	return s
+}
+
+// sortedCopy returns names sorted without disturbing the original
+// insertion-ordered slice.
+func sortedCopy(names []string) []string {
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return out
+}

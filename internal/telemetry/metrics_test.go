@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dhl_launches_total")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotone
+	if got := c.Value(); got != 3 {
+		t.Errorf("counter = %v, want 3", got)
+	}
+	if r.Counter("dhl_launches_total") != c {
+		t.Error("second lookup returned a different counter")
+	}
+	g := r.Gauge("dhl_carts_in_transit")
+	g.Set(4)
+	g.Add(-1)
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge = %v, want 3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dhl_io_seconds", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Errorf("sum = %v, want 556.5", h.Sum())
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(s.Histograms))
+	}
+	hp := s.Histograms[0]
+	// Cumulative: ≤1 → {0.5, 1}, ≤10 → +{5}, ≤100 → +{50}; 500 overflows.
+	wantCum := []uint64{2, 3, 4}
+	for i, b := range hp.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket le=%v count = %d, want %d", b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, bounds := range [][]float64{nil, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v: expected panic", bounds)
+				}
+			}()
+			r.Histogram("bad", bounds)
+		}()
+	}
+}
+
+func TestNilRegistryAndHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", nil) // nil registry: bounds never validated
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	c.Inc()
+	c.Add(1)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles must read as zero")
+	}
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+	var set *Set
+	if set.MetricsOf() != nil || set.SpansOf() != nil {
+		t.Error("nil set accessors must return nil")
+	}
+}
+
+func TestSnapshotSortedRegardlessOfRegistrationOrder(t *testing.T) {
+	build := func(names []string) string {
+		r := NewRegistry()
+		for _, n := range names {
+			r.Counter(n).Inc()
+		}
+		b, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	a := build([]string{"zeta", "alpha", "mid"})
+	b := build([]string{"mid", "zeta", "alpha"})
+	if a != b {
+		t.Errorf("snapshot depends on registration order:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, `"alpha"`) || strings.Index(a, "alpha") > strings.Index(a, "zeta") {
+		t.Errorf("snapshot not name-sorted: %s", a)
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dhl_launches_total").Add(7)
+	r.Gauge("dhl-sim time").Set(1.5)
+	h := r.Histogram("dhl_io_seconds", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(20)
+	text := PrometheusText(r.Snapshot())
+	for _, want := range []string{
+		"# TYPE dhl_launches_total counter\ndhl_launches_total 7\n",
+		"# TYPE dhl_sim_time gauge\ndhl_sim_time 1.5\n", // sanitised name
+		`dhl_io_seconds_bucket{le="1"} 1`,
+		`dhl_io_seconds_bucket{le="10"} 1`,
+		`dhl_io_seconds_bucket{le="+Inf"} 2`,
+		"dhl_io_seconds_sum 20.5",
+		"dhl_io_seconds_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("launches").Add(3)
+	r.Histogram("io_s", []float64{1}).Observe(0.25)
+	out := SummaryTable(r.Snapshot())
+	for _, want := range []string{"counters:", "launches", "histograms:", "io_s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if SummaryTable(Snapshot{}) != "" {
+		t.Error("empty snapshot should render empty summary")
+	}
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"sort"
+
+	"repro/internal/units"
+)
+
+// KV is one span annotation. Annotations are ordered slices, not maps, so
+// every export path is free of map-iteration order.
+type KV struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one completed interval on a named track (e.g. a cart's
+// transit), in simulated seconds.
+type Span struct {
+	Track string        `json:"track"`
+	Name  string        `json:"name"`
+	Start units.Seconds `json:"start_s"`
+	End   units.Seconds `json:"end_s"`
+	Args  []KV          `json:"args,omitempty"`
+}
+
+// Instant is one zero-duration event on a track (fault strikes, retries,
+// reroutes).
+type Instant struct {
+	Track string        `json:"track"`
+	Name  string        `json:"name"`
+	At    units.Seconds `json:"at_s"`
+	Args  []KV          `json:"args,omitempty"`
+}
+
+// SpanLog accumulates spans and instants in recording order. Spans are
+// recorded at completion, so recording order follows simulation time of
+// the span *ends*; exporters re-sort by start time where their format
+// requires it. All methods are no-ops on a nil receiver, making a
+// disabled trace cost one nil check per site.
+//
+// Like Registry, a SpanLog belongs to one single-threaded simulation.
+type SpanLog struct {
+	spans    []Span
+	instants []Instant
+}
+
+// NewSpanLog returns an empty log.
+func NewSpanLog() *SpanLog { return &SpanLog{} }
+
+// Span records a completed interval. Inverted intervals (end < start) are
+// clamped to zero duration at start.
+func (l *SpanLog) Span(track, name string, start, end units.Seconds, args ...KV) {
+	if l == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	l.spans = append(l.spans, Span{Track: track, Name: name, Start: start, End: end, Args: args})
+}
+
+// Mark records an instant event.
+func (l *SpanLog) Mark(track, name string, at units.Seconds, args ...KV) {
+	if l == nil {
+		return
+	}
+	l.instants = append(l.instants, Instant{Track: track, Name: name, At: at, Args: args})
+}
+
+// Len returns the number of recorded spans plus instants (0 on nil).
+func (l *SpanLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.spans) + len(l.instants)
+}
+
+// Spans returns a copy of the recorded spans in recording order.
+func (l *SpanLog) Spans() []Span {
+	if l == nil {
+		return nil
+	}
+	return append([]Span(nil), l.spans...)
+}
+
+// Instants returns a copy of the recorded instants in recording order.
+func (l *SpanLog) Instants() []Instant {
+	if l == nil {
+		return nil
+	}
+	return append([]Instant(nil), l.instants...)
+}
+
+// Tracks returns every track name appearing in the log, first-appearance
+// ordered (spans scanned before instants). The ordering is deterministic
+// because recording order is.
+func (l *SpanLog) Tracks() []string {
+	if l == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range l.spans {
+		if !seen[s.Track] {
+			seen[s.Track] = true
+			out = append(out, s.Track)
+		}
+	}
+	for _, i := range l.instants {
+		if !seen[i.Track] {
+			seen[i.Track] = true
+			out = append(out, i.Track)
+		}
+	}
+	return out
+}
+
+// SortedSpans returns the spans ordered by (Start, End, recording order) —
+// the order the Chrome exporter and summary table use.
+func (l *SpanLog) SortedSpans() []Span {
+	out := l.Spans()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start < out[j].Start {
+			return true
+		}
+		if out[j].Start < out[i].Start {
+			return false
+		}
+		return out[i].End < out[j].End
+	})
+	return out
+}

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSpanLogRecordsAndSorts(t *testing.T) {
+	l := NewSpanLog()
+	l.Span("cart-1", "transit", 10, 30, KV{Key: "dir", Value: "outbound"})
+	l.Span("cart-0", "undock", 0, 5)
+	l.Span("cart-0", "transit", 5, 25)
+	l.Mark("faults", "ssd-failure", 12)
+	if l.Len() != 4 {
+		t.Fatalf("len = %d, want 4", l.Len())
+	}
+	sorted := l.SortedSpans()
+	if sorted[0].Name != "undock" || sorted[1].Name != "transit" || sorted[1].Track != "cart-0" {
+		t.Errorf("sort order wrong: %+v", sorted)
+	}
+	tracks := l.Tracks()
+	want := []string{"cart-1", "cart-0", "faults"}
+	if len(tracks) != len(want) {
+		t.Fatalf("tracks = %v, want %v", tracks, want)
+	}
+	for i := range want {
+		if tracks[i] != want[i] {
+			t.Errorf("tracks[%d] = %q, want %q", i, tracks[i], want[i])
+		}
+	}
+}
+
+func TestSpanInvertedIntervalClamped(t *testing.T) {
+	l := NewSpanLog()
+	l.Span("x", "weird", 10, 5)
+	s := l.Spans()[0]
+	if s.End != s.Start {
+		t.Errorf("inverted span not clamped: %+v", s)
+	}
+}
+
+func TestNilSpanLogIsNoOp(t *testing.T) {
+	var l *SpanLog
+	l.Span("a", "b", 0, 1)
+	l.Mark("a", "c", 2)
+	if l.Len() != 0 || l.Spans() != nil || l.Instants() != nil || l.Tracks() != nil {
+		t.Error("nil span log must stay empty")
+	}
+	b, err := ChromeTrace(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b) {
+		t.Error("nil-log trace is not valid JSON")
+	}
+}
+
+// traceShape mirrors the subset of trace_event JSON the tests inspect.
+type traceShape struct {
+	TraceEvents []struct {
+		Name string          `json:"name"`
+		Ph   string          `json:"ph"`
+		Ts   float64         `json:"ts"`
+		Dur  float64         `json:"dur"`
+		Pid  int             `json:"pid"`
+		Tid  int             `json:"tid"`
+		Args json.RawMessage `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestChromeTraceStructure(t *testing.T) {
+	l := NewSpanLog()
+	l.Span("cart-0", "undock", 0, 5)
+	l.Span("cart-0", "transit", 5, 25, KV{Key: "degraded", Value: "true"})
+	l.Mark("faults", "vacuum-leak", 7, KV{Key: "pressure", Value: "5000Pa"})
+	b, err := ChromeTrace(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr traceShape
+	if err := json.Unmarshal(b, &tr); err != nil {
+		t.Fatalf("trace is not parseable JSON: %v", err)
+	}
+	var meta, complete, instant int
+	lastTs := math.Inf(-1)
+	for _, e := range tr.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if e.Dur < 0 {
+				t.Errorf("negative dur on %q", e.Name)
+			}
+		case "i":
+			instant++
+		}
+		if e.Ph != "M" {
+			if e.Ts < lastTs {
+				t.Errorf("timestamps not monotone at %q: %v after %v", e.Name, e.Ts, lastTs)
+			}
+			lastTs = e.Ts
+		}
+	}
+	if meta != 2 || complete != 2 || instant != 1 {
+		t.Errorf("event mix = %d meta, %d complete, %d instant; want 2/2/1", meta, complete, instant)
+	}
+	// Sim seconds → trace microseconds.
+	if !strings.Contains(string(b), `"ts": 5e+06`) && !strings.Contains(string(b), `"ts": 5000000`) {
+		t.Errorf("expected 5 s span start at 5e6 µs:\n%s", b)
+	}
+	// Args keep KV order and content.
+	if !strings.Contains(string(b), `"pressure": "5000Pa"`) {
+		t.Errorf("instant args missing:\n%s", b)
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	build := func() string {
+		l := NewSpanLog()
+		l.Span("cart-1", "transit", 3, 9)
+		l.Span("cart-0", "transit", 1, 4, KV{Key: "k", Value: "v"})
+		l.Mark("faults", "stall", 2)
+		b, err := ChromeTrace(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if a, b := build(), build(); a != b {
+		t.Errorf("trace differs between identical logs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestSpanSummary(t *testing.T) {
+	l := NewSpanLog()
+	l.Span("cart-0", "transit", 0, 10)
+	l.Span("cart-0", "transit", 20, 35)
+	l.Mark("faults", "stall", 5)
+	out := SpanSummary(l)
+	if !strings.Contains(out, "transit") || !strings.Contains(out, "25.000") {
+		t.Errorf("span summary wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "+1 instant") {
+		t.Errorf("instants not counted:\n%s", out)
+	}
+	if SpanSummary(nil) != "" {
+		t.Error("nil log summary should be empty")
+	}
+}

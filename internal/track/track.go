@@ -10,6 +10,8 @@ package track
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/telemetry"
 )
 
 // CartID identifies a cart within a DHL deployment.
@@ -88,11 +90,24 @@ type Rail struct {
 	Mode     RailMode
 	occupant [2]CartID // per direction; SingleRail uses index 0 only
 	blocked  [2]int    // active blockage count per direction slot
+
+	// Telemetry counters (nil by default — uninstrumented rails pay only
+	// nil checks).
+	telReservations *telemetry.Counter
+	telBlocks       *telemetry.Counter
 }
 
 // NewRail builds an empty rail.
 func NewRail(mode RailMode) *Rail {
 	return &Rail{Mode: mode, occupant: [2]CartID{NoCart, NoCart}}
+}
+
+// Instrument attaches plant-level counters to the rail:
+// dhl_rail_reservations_total (successful Reserve calls) and
+// dhl_rail_blocks_total (fault blockages). A nil registry is a no-op.
+func (r *Rail) Instrument(reg *telemetry.Registry) {
+	r.telReservations = reg.Counter("dhl_rail_reservations_total")
+	r.telBlocks = reg.Counter("dhl_rail_blocks_total")
 }
 
 func (r *Rail) slot(d Direction) *CartID {
@@ -112,7 +127,10 @@ func (r *Rail) blockSlot(d Direction) *int {
 // Block marks direction d out of service (fault injection). Blockages
 // nest: each Block needs a matching Unblock. On a single rail, blocking
 // either direction blocks the whole rail — there is only one track.
-func (r *Rail) Block(d Direction) { *r.blockSlot(d)++ }
+func (r *Rail) Block(d Direction) {
+	*r.blockSlot(d)++
+	r.telBlocks.Inc()
+}
 
 // Unblock clears one blockage on direction d.
 func (r *Rail) Unblock(d Direction) {
@@ -135,6 +153,7 @@ func (r *Rail) Reserve(id CartID, d Direction) error {
 		return fmt.Errorf("%w: cart %d holds the %v rail", ErrRailBusy, *s, d)
 	}
 	*s = id
+	r.telReservations.Inc()
 	return nil
 }
 
@@ -166,6 +185,12 @@ type DockBank struct {
 	// midDock is the cart currently transitioning (docking or undocking),
 	// blocking the rail through the bank; NoCart when clear.
 	midDock CartID
+
+	// Telemetry counters (nil by default).
+	telDocks    *telemetry.Counter
+	telUndocks  *telemetry.Counter
+	telFailures *telemetry.Counter
+	telRepairs  *telemetry.Counter
 }
 
 // NewDockBank builds a bank of n empty stations.
@@ -178,6 +203,17 @@ func NewDockBank(n int) (*DockBank, error) {
 		s[i] = NoCart
 	}
 	return &DockBank{stations: s, failed: make([]bool, n), midDock: NoCart}, nil
+}
+
+// Instrument attaches plant-level counters to the bank:
+// dhl_dock_docks_total / dhl_dock_undocks_total (completed operations) and
+// dhl_dock_station_failures_total / dhl_dock_station_repairs_total (fault
+// injection). A nil registry is a no-op.
+func (b *DockBank) Instrument(reg *telemetry.Registry) {
+	b.telDocks = reg.Counter("dhl_dock_docks_total")
+	b.telUndocks = reg.Counter("dhl_dock_undocks_total")
+	b.telFailures = reg.Counter("dhl_dock_station_failures_total")
+	b.telRepairs = reg.Counter("dhl_dock_station_repairs_total")
 }
 
 // Stations returns the number of docking stations.
@@ -203,6 +239,7 @@ func (b *DockBank) FailStation(i int) (CartID, error) {
 		return NoCart, fmt.Errorf("%w: %d of %d", ErrBadStation, i, len(b.stations))
 	}
 	b.failed[i] = true
+	b.telFailures.Inc()
 	return b.stations[i], nil
 }
 
@@ -212,6 +249,7 @@ func (b *DockBank) RepairStation(i int) error {
 		return fmt.Errorf("%w: %d of %d", ErrBadStation, i, len(b.stations))
 	}
 	b.failed[i] = false
+	b.telRepairs.Inc()
 	return nil
 }
 
@@ -265,6 +303,7 @@ func (b *DockBank) EndDock(id CartID) error {
 		return fmt.Errorf("%w: cart %d (mid-dock %d)", ErrNotDocked, id, b.midDock)
 	}
 	b.midDock = NoCart
+	b.telDocks.Inc()
 	return nil
 }
 
@@ -292,6 +331,7 @@ func (b *DockBank) EndUndock(id CartID) error {
 		if s == id {
 			b.stations[i] = NoCart
 			b.midDock = NoCart
+			b.telUndocks.Inc()
 			return nil
 		}
 	}

@@ -7,17 +7,28 @@
 # Usage: scripts/bench.sh [output.json] [bench-regex]
 #   scripts/bench.sh                                  # all benches → BENCH_sweep.json
 #   scripts/bench.sh BENCH_lint.json BenchmarkLintModule   # the dhllint engine only
+#   scripts/bench.sh telemetry                        # instrumentation overhead → BENCH_telemetry.json
+#
+# The telemetry mode runs the enabled/disabled shuttle pair and adds an
+# overhead_pct field (enabled vs disabled best-of-3 ns/op) to the output;
+# the acceptance target keeps the disabled path within 1 % of baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_sweep.json}"
 pattern="${2:-.}"
+telemetry=0
+if [[ "${1:-}" == "telemetry" ]]; then
+    out="BENCH_telemetry.json"
+    pattern="BenchmarkShuttleTelemetry(Disabled|Enabled)$"
+    telemetry=1
+fi
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run=NONE -bench="$pattern" -benchmem -count=3 . | tee "$raw"
 
-awk -v gomaxprocs="$(go env GOMAXPROCS 2>/dev/null || nproc)" '
+awk -v gomaxprocs="$(go env GOMAXPROCS 2>/dev/null || nproc)" -v telemetry="$telemetry" '
 /^Benchmark/ {
     # BenchmarkName-N  iters  ns/op  B/op  allocs/op
     name = $1
@@ -43,8 +54,13 @@ END {
         printf "    {\"name\": \"%s\", \"ns_per_op\": %.1f, \"bytes_per_op\": %d, \"allocs_per_op\": %d}%s\n", \
             name, best[name], bop[name], aop[name], (i < n ? "," : "")
     }
-    printf "  ]\n"
-    printf "}\n"
+    printf "  ]"
+    if (telemetry && ("BenchmarkShuttleTelemetryDisabled" in best) && ("BenchmarkShuttleTelemetryEnabled" in best)) {
+        off = best["BenchmarkShuttleTelemetryDisabled"]
+        on = best["BenchmarkShuttleTelemetryEnabled"]
+        printf ",\n  \"overhead_pct\": %.2f", (on - off) / off * 100
+    }
+    printf "\n}\n"
 }' "$raw" > "$out"
 
 echo "wrote $out ($(grep -c '"name"' "$out") benchmarks, best of 3)"
