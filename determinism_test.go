@@ -142,14 +142,15 @@ func chaosRun(t *testing.T, scenario string, seed int64) string {
 		strings.Join(s.FaultLog(), "\n"), res, s.Stats(), s.Report())
 }
 
-// telemetryChaosRun executes one instrumented chaos shuttle and returns the
-// serialized metrics snapshot and Chrome trace export — the two telemetry
-// artefacts whose byte-identity the exporters guarantee.
-func telemetryChaosRun(t *testing.T, scenario string, seed int64) (string, string) {
+// telemetryChaosRun executes one instrumented chaos shuttle against the
+// given collector set and returns the serialized metrics snapshot and
+// Chrome trace export — the two telemetry artefacts whose byte-identity
+// the exporters guarantee.
+func telemetryChaosRun(t *testing.T, set *telemetry.Set, scenario string, seed int64) (string, string) {
 	t.Helper()
 	opt := dhlsys.DefaultOptions()
 	opt.Seed = seed
-	opt.Telemetry = telemetry.NewSet()
+	opt.Telemetry = set
 	script, err := faults.Scenario(scenario, seed, 60,
 		opt.NumCarts, opt.DockStations, opt.Core.Cart.Config.NumSSDs)
 	if err != nil {
@@ -180,8 +181,8 @@ func telemetryChaosRun(t *testing.T, scenario string, seed int64) (string, strin
 // trace bytes, making exports diffable artefacts like every other report.
 func TestTelemetryExportsAreByteIdenticalAcrossRuns(t *testing.T) {
 	for _, scenario := range faults.ScenarioNames() {
-		snap1, trace1 := telemetryChaosRun(t, scenario, 1337)
-		snap2, trace2 := telemetryChaosRun(t, scenario, 1337)
+		snap1, trace1 := telemetryChaosRun(t, telemetry.NewSet(), scenario, 1337)
+		snap2, trace2 := telemetryChaosRun(t, telemetry.NewSet(), scenario, 1337)
 		if snap1 != snap2 {
 			t.Errorf("chaos scenario %s: metrics snapshots differ between runs:\n%s\nvs\n%s",
 				scenario, snap1, snap2)
@@ -193,6 +194,33 @@ func TestTelemetryExportsAreByteIdenticalAcrossRuns(t *testing.T) {
 		// Prometheus text is derived from the snapshot; a cheap extra pin.
 		if p1, p2 := telemetry.PrometheusText(mustSnap(t, snap1)), telemetry.PrometheusText(mustSnap(t, snap2)); p1 != p2 {
 			t.Errorf("chaos scenario %s: Prometheus expositions differ", scenario)
+		}
+	}
+}
+
+// TestTelemetryRecycledSetIsByteIdentical pins the pooling contract: a
+// long-lived Set reused across runs via Reset must export the same bytes
+// as a freshly constructed one — recycled record, string-table, and
+// arg-store buffers leak nothing between runs, and re-interned StrIDs
+// resolve to the same names.
+func TestTelemetryRecycledSetIsByteIdentical(t *testing.T) {
+	shared := telemetry.NewSet()
+	// Warm the shared set on a different scenario first, so stale state
+	// from a dissimilar run would show up in the comparison below.
+	scenarios := faults.ScenarioNames()
+	if len(scenarios) > 1 {
+		telemetryChaosRun(t, shared, scenarios[len(scenarios)-1], 7)
+	}
+	for _, scenario := range scenarios {
+		shared.Reset()
+		snapWarm, traceWarm := telemetryChaosRun(t, shared, scenario, 1337)
+		snapCold, traceCold := telemetryChaosRun(t, telemetry.NewSet(), scenario, 1337)
+		if snapWarm != snapCold {
+			t.Errorf("chaos scenario %s: recycled-set metrics snapshot differs from fresh set:\n%s\nvs\n%s",
+				scenario, snapWarm, snapCold)
+		}
+		if traceWarm != traceCold {
+			t.Errorf("chaos scenario %s: recycled-set Chrome trace differs from fresh set", scenario)
 		}
 	}
 }

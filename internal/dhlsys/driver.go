@@ -132,110 +132,35 @@ func (s *System) Shuttle(opt ShuttleOptions) (ShuttleResult, error) {
 
 	startEnergy := s.stats.Energy
 	start := s.Engine.Now()
-	res := ShuttleResult{}
-	claimed := 0 // delivery slots handed to workers
-	var fatal error
+	run := &shuttleRun{
+		s:          s,
+		deliveries: deliveries,
+		maxRetries: maxRetries,
+		readAtEnd:  opt.ReadAtEndpoint,
+		readB:      readB,
+	}
 
 	// Each cart runs an independent worker loop: claim a slot, Open,
 	// optionally Read, Close, repeat. The System's internal FIFO queue
 	// serialises resource contention. Failed deliveries retry with the
 	// recovery policy's exponential backoff (deterministic: delays are
-	// simulated time, scheduled on the event kernel).
-	var workers []func()
-	for i := 0; i < s.opt.NumCarts; i++ {
-		id := track.CartID(i)
-		consecFails := 0
-		var loop func()
-		loop = func() {
-			if fatal != nil || claimed >= deliveries {
-				return
-			}
-			claimed++
-			s.Open(id, func(err error) {
-				timedOut := errors.Is(err, ErrLaunchTimeout)
-				if err != nil && !timedOut {
-					fatal = fmt.Errorf("dhlsys: open cart %d: %w", id, err)
-					return
-				}
-				finish := func(delivered bool) {
-					next := loop
-					if delivered {
-						res.Deliveries++
-						s.tel.deliveries.Inc()
-						consecFails = 0
-					} else {
-						claimed-- // slot back for redelivery
-						res.Retries++
-						s.tel.retries.Inc()
-						if res.Retries > maxRetries {
-							fatal = fmt.Errorf("%w: %d retries", ErrRetriesExhausted, res.Retries)
-							return
-						}
-						if b := s.backoffDelay(consecFails); b > 0 {
-							s.stats.Backoffs++
-							s.stats.BackoffWait += b
-							s.tel.backoffs.Inc()
-							next = func() { s.Engine.MustAfter(b, "retry-backoff", loop) }
-						}
-						consecFails++
-					}
-					s.Close(id, func(err error) {
-						if err != nil {
-							if !errors.Is(err, ErrLaunchTimeout) {
-								fatal = fmt.Errorf("dhlsys: close cart %d: %w", id, err)
-								return
-							}
-							// The cart made it home regardless; record and
-							// keep going.
-							res.Timeouts++
-							res.FailureErrors = append(res.FailureErrors, err)
-						}
-						next()
-					})
-				}
-				if timedOut {
-					// The cart is docked but the delivery blew its budget:
-					// the management layer redelivers (§III-D).
-					res.Timeouts++
-					res.FailureErrors = append(res.FailureErrors, err)
-					finish(false)
-					return
-				}
-				if !opt.ReadAtEndpoint {
-					// Delivery = cart physically present; §V-B accounting.
-					finish(true)
-					return
-				}
-				s.Read(id, readB, func(_ units.Seconds, err error) {
-					if err != nil {
-						res.FailureErrors = append(res.FailureErrors, err)
-						if errors.Is(err, ErrDegradedRead) {
-							// Amelioration: the surviving stripes were
-							// served; the delivery stands, degraded.
-							res.DegradedDeliveries++
-							finish(true)
-							return
-						}
-						// Hard in-flight failure surfaced by the API;
-						// redeliver.
-						finish(false)
-						return
-					}
-					finish(true)
-				})
-			})
-		}
-		workers = append(workers, loop)
+	// simulated time, scheduled on the event kernel). Workers pre-bind
+	// their callbacks once, so steady-state deliveries allocate nothing
+	// in this driver.
+	workers := make([]*shuttleWorker, s.opt.NumCarts)
+	for i := range workers {
+		workers[i] = newShuttleWorker(run, track.CartID(i))
 	}
 	for _, w := range workers {
-		w()
+		w.loop()
 	}
 	if _, err := s.Run(); err != nil {
-		return res, err
+		return run.res, err
 	}
-	if fatal != nil {
-		return res, fatal
+	if run.fatal != nil {
+		return run.res, run.fatal
 	}
+	res := run.res
 	if res.Deliveries != deliveries {
 		return res, fmt.Errorf("dhlsys: delivered %d of %d", res.Deliveries, deliveries)
 	}
@@ -243,4 +168,145 @@ func (s *System) Shuttle(opt ShuttleOptions) (ShuttleResult, error) {
 	res.Energy = s.stats.Energy - startEnergy
 	res.BytesDelivered = units.Bytes(float64(deliveries) * float64(capB))
 	return res, nil
+}
+
+// shuttleRun is one bulk transfer's shared state across its per-cart
+// workers.
+type shuttleRun struct {
+	s          *System
+	res        ShuttleResult
+	deliveries int
+	maxRetries int
+	claimed    int // delivery slots handed to workers
+	readAtEnd  bool
+	readB      units.Bytes
+	fatal      error
+}
+
+// shuttleWorker drives one cart through claim → Open → (Read) → Close
+// cycles. Its callbacks are bound once at construction; per-delivery
+// state lives in the fields below, so the steady-state loop is free of
+// closure allocations.
+type shuttleWorker struct {
+	run         *shuttleRun
+	id          track.CartID
+	consecFails int
+	// backoff, when positive, delays the next loop entry after Close —
+	// set by finish for failed deliveries under the recovery policy.
+	backoff units.Seconds
+
+	loopFn      func()
+	openDoneFn  func(error)
+	readDoneFn  func(units.Seconds, error)
+	closeDoneFn func(error)
+}
+
+func newShuttleWorker(run *shuttleRun, id track.CartID) *shuttleWorker {
+	w := &shuttleWorker{run: run, id: id}
+	w.loopFn = w.loop
+	w.openDoneFn = w.openDone
+	w.readDoneFn = w.readDone
+	w.closeDoneFn = w.closeDone
+	return w
+}
+
+// loop claims the next delivery slot and launches the cart.
+func (w *shuttleWorker) loop() {
+	r := w.run
+	if r.fatal != nil || r.claimed >= r.deliveries {
+		return
+	}
+	r.claimed++
+	r.s.Open(w.id, w.openDoneFn)
+}
+
+// openDone handles launch completion at the endpoint.
+func (w *shuttleWorker) openDone(err error) {
+	r := w.run
+	timedOut := errors.Is(err, ErrLaunchTimeout)
+	if err != nil && !timedOut {
+		r.fatal = fmt.Errorf("dhlsys: open cart %d: %w", w.id, err)
+		return
+	}
+	if timedOut {
+		// The cart is docked but the delivery blew its budget: the
+		// management layer redelivers (§III-D).
+		r.res.Timeouts++
+		r.res.FailureErrors = append(r.res.FailureErrors, err)
+		w.finish(false)
+		return
+	}
+	if !r.readAtEnd {
+		// Delivery = cart physically present; §V-B accounting.
+		w.finish(true)
+		return
+	}
+	r.s.Read(w.id, r.readB, w.readDoneFn)
+}
+
+// readDone handles the endpoint-side cart read.
+func (w *shuttleWorker) readDone(_ units.Seconds, err error) {
+	r := w.run
+	if err != nil {
+		r.res.FailureErrors = append(r.res.FailureErrors, err)
+		if errors.Is(err, ErrDegradedRead) {
+			// Amelioration: the surviving stripes were served; the
+			// delivery stands, degraded.
+			r.res.DegradedDeliveries++
+			w.finish(true)
+			return
+		}
+		// Hard in-flight failure surfaced by the API; redeliver.
+		w.finish(false)
+		return
+	}
+	w.finish(true)
+}
+
+// finish settles one delivery attempt's accounting and sends the cart
+// home.
+func (w *shuttleWorker) finish(delivered bool) {
+	r := w.run
+	w.backoff = 0
+	if delivered {
+		r.res.Deliveries++
+		r.s.tel.deliveries.Inc()
+		w.consecFails = 0
+	} else {
+		r.claimed-- // slot back for redelivery
+		r.res.Retries++
+		r.s.tel.retries.Inc()
+		if r.res.Retries > r.maxRetries {
+			r.fatal = fmt.Errorf("%w: %d retries", ErrRetriesExhausted, r.res.Retries)
+			return
+		}
+		if b := r.s.backoffDelay(w.consecFails); b > 0 {
+			r.s.stats.Backoffs++
+			r.s.stats.BackoffWait += b
+			r.s.tel.backoffs.Inc()
+			w.backoff = b
+		}
+		w.consecFails++
+	}
+	r.s.Close(w.id, w.closeDoneFn)
+}
+
+// closeDone handles the cart's return to the library and re-enters the
+// loop, via the retry backoff when one is pending.
+func (w *shuttleWorker) closeDone(err error) {
+	r := w.run
+	if err != nil {
+		if !errors.Is(err, ErrLaunchTimeout) {
+			r.fatal = fmt.Errorf("dhlsys: close cart %d: %w", w.id, err)
+			return
+		}
+		// The cart made it home regardless; record and keep going.
+		r.res.Timeouts++
+		r.res.FailureErrors = append(r.res.FailureErrors, err)
+	}
+	if w.backoff > 0 {
+		r.s.Engine.MustAfter(w.backoff, evRetryBackoff, w.loopFn)
+		return
+	}
+	w.loop()
 }

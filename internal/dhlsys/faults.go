@@ -174,25 +174,28 @@ func (s *System) dynamics() launchDynamics {
 
 // scheduleTransit schedules a cart's rail transit with stall bookkeeping:
 // the pending event, its callback, and the held direction are recorded on
-// the cart so a CartStall fault can push the arrival out.
+// the cart so a CartStall fault can push the arrival out. fn is one of the
+// cart's pre-bound arrival steps (scratch.go) and must clear
+// c.transitEv/c.transitFn itself on entry — keeping the wrapper out of
+// this path makes a transit allocation-free.
 func (s *System) scheduleTransit(c *Cart, d units.Seconds, name string, dir track.Direction, fn func()) {
-	arrive := func() {
-		c.transitEv, c.transitFn = nil, nil
-		fn()
-	}
-	c.transitFn = arrive
+	c.transitFn = fn
 	c.transitName = name
 	c.transitDir = dir
-	c.transitEv = s.Engine.MustAfter(d, name, arrive)
+	c.transitEv = s.Engine.MustAfter(d, name, fn)
 }
 
 // stallCart pushes a mid-transit cart's arrival out by delay. Carts not on
 // the rail are unaffected (a stall needs a moving cart).
 func (s *System) stallCart(c *Cart, delay units.Seconds) {
-	if c == nil || c.transitEv == nil || delay <= 0 {
+	if c == nil || delay <= 0 {
 		return
 	}
-	t := c.transitEv.Time + delay
+	t, ok := s.Engine.EventTime(c.transitEv)
+	if !ok {
+		return
+	}
+	t += delay
 	if !s.Engine.Cancel(c.transitEv) {
 		return
 	}
@@ -204,7 +207,7 @@ func (s *System) stallCart(c *Cart, delay units.Seconds) {
 	s.stats.Stalls++
 	s.stats.StallTime += delay
 	s.tel.stalls.Inc()
-	s.tel.spans.Mark(c.spanTrack, "stall", s.Engine.Now(),
+	s.tel.spans.RecordInstant(c.trackID, s.tel.ids.stall, s.Engine.Now(),
 		telemetry.KV{Key: "delay_s", Value: strconv.FormatFloat(float64(delay), 'g', -1, 64)})
 }
 

@@ -155,15 +155,21 @@ type Cart struct {
 	// In-flight transit bookkeeping, used by stall faults to push the
 	// arrival event out: the pending rail-transit event, its callback,
 	// and the rail direction slot the cart holds.
-	transitEv   *sim.Event
+	transitEv   sim.Handle
 	transitFn   func()
 	transitName string
 	transitDir  track.Direction
 	// launchStart is when the current launch acquired its resources
 	// (launch-timeout accounting).
 	launchStart units.Seconds
-	// spanTrack is the cart's telemetry track name ("cart-N").
+	// spanTrack is the cart's telemetry track name ("cart-N"); trackID is
+	// its interned span-log ID, bound in initTelemetry (zero when
+	// telemetry is disabled — harmless, records on a nil log are no-ops).
 	spanTrack string
+	trackID   telemetry.StrID
+	// scratch is the cart's reusable operation state and pre-bound launch
+	// steps (see scratch.go); valid while Busy.
+	scratch launchScratch
 }
 
 // Stats accumulates simulation-wide accounting.
@@ -288,7 +294,9 @@ func New(opt Options) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.carts[id] = &Cart{ID: id, Array: arr, Loc: AtLibrary, spanTrack: cartTrack(id)}
+		c := &Cart{ID: id, Array: arr, Loc: AtLibrary, spanTrack: cartTrack(id)}
+		s.bindLaunchSteps(c)
+		s.carts[id] = c
 		if err := s.lib.Store(id); err != nil {
 			return nil, err
 		}
@@ -405,101 +413,21 @@ func (s *System) Open(id track.CartID, done func(error)) {
 		return
 	}
 	c.Busy = true
-	reqAt := s.Engine.Now()
-	s.enqueue(func() bool {
-		// Need: the outbound LIM energised, a usable rail direction, and a
-		// free in-service station with no mid-dock cart.
-		if !s.limUp(track.Outbound) || s.dock.Blocked() || s.dock.FreeStations() == 0 {
-			return false
-		}
-		dir, reroute, ok := s.launchDirection(track.Outbound)
-		if !ok {
-			return false
-		}
-		if err := s.rail.Reserve(id, dir); err != nil {
-			return false
-		}
-		if reroute {
-			s.markReroute(c, dir)
-		}
-		if err := s.lib.Remove(id); err != nil {
-			// Programming error; surface it.
-			s.rail.Release(id, dir)
-			c.Busy = false
-			done(err)
-			return true
-		}
-		s.recordQueueWait(c, "open", reqAt)
-		s.runOutbound(c, dir, done)
-		return true
-	})
+	c.scratch.done = done
+	c.scratch.reqAt = s.Engine.Now()
+	// Resource acquisition and the undock→transit→dock chain run on the
+	// cart's pre-bound steps (scratch.go) — no per-launch closures.
+	s.enqueue(c.scratch.tryOpen)
 }
 
 // runOutbound performs library undock → transit → endpoint dock. dir is the
 // rail slot the cart reserved (normally Outbound; Inbound when rerouted
 // around a blocked rail on a dual-rail track).
 func (s *System) runOutbound(c *Cart, dir track.Direction, done func(error)) {
+	c.scratch.dir, c.scratch.done = dir, done
 	c.Loc = InTransit
 	c.launchStart = s.Engine.Now()
-	s.Engine.MustAfter(s.opt.Core.UndockTime, "undock@library", func() {
-		s.stats.DockOps++
-		s.tel.dockOps.Inc()
-		s.tel.spans.Span(c.spanTrack, "undock", c.launchStart, s.Engine.Now(),
-			telemetry.KV{Key: "site", Value: "library"})
-		s.maybeFailSSD(c)
-		dyn := s.dynamics()
-		if dyn.degraded {
-			s.stats.DegradedLaunches++
-			s.tel.degradedLaunches.Inc()
-		}
-		depart := s.Engine.Now()
-		s.scheduleTransit(c, dyn.transit, "transit-out", dir, func() {
-			s.recordTransit(c, depart, s.Engine.Now(), dyn, dir)
-			arrive := s.Engine.Now()
-			// A station free at reservation time may have failed in flight;
-			// the cart loiters at the bank (holding its rail slot) until a
-			// station is repaired or freed.
-			var tryDock func() bool
-			tryDock = func() bool {
-				if s.dock.Blocked() || s.dock.FreeStations() == 0 {
-					return false
-				}
-				if _, err := s.dock.BeginDock(c.ID); err != nil {
-					return false
-				}
-				if s.tel.spans != nil && arrive < s.Engine.Now() {
-					s.tel.spans.Span(c.spanTrack, "loiter", arrive, s.Engine.Now())
-				}
-				dockStart := s.Engine.Now()
-				s.Engine.MustAfter(s.opt.Core.DockTime, "dock@endpoint", func() {
-					if err := s.dock.EndDock(c.ID); err != nil {
-						panic(err)
-					}
-					s.stats.DockOps++
-					s.tel.dockOps.Inc()
-					s.tel.spans.Span(c.spanTrack, "dock", dockStart, s.Engine.Now(),
-						telemetry.KV{Key: "site", Value: "endpoint"})
-					if s.opt.Wear != nil {
-						// Endpoint mating cycle; service is deferred to the
-						// library (§III-B.6).
-						if _, err := s.opt.Wear.RecordDock(c.ID); err != nil {
-							panic(err)
-						}
-					}
-					s.recordLaunch(c, dyn)
-					if err := s.rail.Release(c.ID, dir); err != nil {
-						panic(err)
-					}
-					c.Loc = AtDock
-					c.Busy = false
-					s.retryWaiting()
-					done(s.checkLaunchTimeout(c))
-				})
-				return true
-			}
-			s.enqueue(tryDock)
-		})
-	})
+	s.Engine.MustAfter(s.opt.Core.UndockTime, evUndockLibrary, c.scratch.outUndock)
 }
 
 // checkLaunchTimeout applies the recovery policy's launch timeout to the
@@ -518,7 +446,7 @@ func (s *System) checkLaunchTimeout(c *Cart) error {
 	}
 	s.stats.Timeouts++
 	s.tel.timeouts.Inc()
-	s.tel.spans.Mark(c.spanTrack, "timeout", s.Engine.Now())
+	s.tel.spans.RecordInstant(c.trackID, s.tel.ids.timeout, s.Engine.Now())
 	return fmt.Errorf("%w: cart %d took %.3fs (budget %.3fs)",
 		ErrLaunchTimeout, c.ID, float64(elapsed), float64(limit))
 }
@@ -543,102 +471,17 @@ func (s *System) Close(id track.CartID, done func(error)) {
 		return
 	}
 	c.Busy = true
-	reqAt := s.Engine.Now()
-	s.enqueue(func() bool {
-		if !s.limUp(track.Inbound) || s.dock.Blocked() {
-			return false
-		}
-		dir, reroute, ok := s.launchDirection(track.Inbound)
-		if !ok {
-			return false
-		}
-		if err := s.rail.Reserve(id, dir); err != nil {
-			return false
-		}
-		if reroute {
-			s.markReroute(c, dir)
-		}
-		if err := s.dock.BeginUndock(id); err != nil {
-			s.rail.Release(id, dir)
-			c.Busy = false
-			done(err)
-			return true
-		}
-		s.recordQueueWait(c, "close", reqAt)
-		s.runInbound(c, dir, done)
-		return true
-	})
+	c.scratch.done = done
+	c.scratch.reqAt = s.Engine.Now()
+	s.enqueue(c.scratch.tryClose)
 }
 
 // runInbound performs endpoint undock → transit → library dock. dir is the
 // reserved rail slot (normally Inbound; Outbound when rerouted).
 func (s *System) runInbound(c *Cart, dir track.Direction, done func(error)) {
+	c.scratch.dir, c.scratch.done = dir, done
 	c.launchStart = s.Engine.Now()
-	s.Engine.MustAfter(s.opt.Core.UndockTime, "undock@endpoint", func() {
-		if err := s.dock.EndUndock(c.ID); err != nil {
-			panic(err)
-		}
-		s.stats.DockOps++
-		s.tel.dockOps.Inc()
-		s.tel.spans.Span(c.spanTrack, "undock", c.launchStart, s.Engine.Now(),
-			telemetry.KV{Key: "site", Value: "endpoint"})
-		c.Loc = InTransit
-		s.maybeFailSSD(c)
-		dyn := s.dynamics()
-		if dyn.degraded {
-			s.stats.DegradedLaunches++
-			s.tel.degradedLaunches.Inc()
-		}
-		depart := s.Engine.Now()
-		s.scheduleTransit(c, dyn.transit, "transit-in", dir, func() {
-			s.recordTransit(c, depart, s.Engine.Now(), dyn, dir)
-			dockStart := s.Engine.Now()
-			s.Engine.MustAfter(s.opt.Core.DockTime, "dock@library", func() {
-				s.stats.DockOps++
-				s.tel.dockOps.Inc()
-				s.tel.spans.Span(c.spanTrack, "dock", dockStart, s.Engine.Now(),
-					telemetry.KV{Key: "site", Value: "library"})
-				s.recordLaunch(c, dyn)
-				if err := s.rail.Release(c.ID, dir); err != nil {
-					panic(err)
-				}
-				if err := s.lib.Store(c.ID); err != nil {
-					c.Busy = false
-					done(err)
-					return
-				}
-				c.Loc = AtLibrary
-				c.Busy = false
-				// Failed SSDs are serviced at the library (§III-B.6).
-				for _, d := range c.Array.Devices {
-					if d.Failed() {
-						d.Repair()
-					}
-				}
-				if s.autoReload {
-					// Top up each device: only serviced (emptied) SSDs need
-					// reloading; the rest are already full.
-					for _, d := range c.Array.Devices {
-						if free := d.Free(); free > 0 {
-							if _, err := d.Write(free); err != nil {
-								done(fmt.Errorf("dhlsys: reload cart %d: %w", c.ID, err))
-								return
-							}
-						}
-					}
-				}
-				switch err := s.maybeServiceConnector(c, done); {
-				case errors.Is(err, errServiceScheduled):
-					return // done fires when the service completes
-				case err != nil:
-					done(err)
-					return
-				}
-				s.retryWaiting()
-				done(s.checkLaunchTimeout(c))
-			})
-		})
-	})
+	s.Engine.MustAfter(s.opt.Core.UndockTime, evUndockEndpoint, c.scratch.inUndock)
 }
 
 // errServiceScheduled is the sentinel maybeServiceConnector uses internally
@@ -676,7 +519,7 @@ func (s *System) maybeServiceConnector(c *Cart, done func(error)) error {
 	s.stats.MaintenanceTime += downtime
 	s.stats.MaintenanceCost += cost
 	c.Busy = true
-	s.Engine.MustAfter(downtime, "connector-service", func() {
+	s.Engine.MustAfter(downtime, evService, func() {
 		c.Busy = false
 		s.retryWaiting()
 		done(nil)
@@ -740,22 +583,20 @@ func (s *System) transferOp(id track.CartID, n units.Bytes, done func(units.Seco
 		return
 	}
 	c.Busy = true
-	name := "io-write"
+	name := s.tel.ids.ioWrite
 	if isRead {
 		s.stats.BytesRead += n
 		s.tel.bytesRead.Add(float64(n))
-		name = "io-read"
+		name = s.tel.ids.ioRead
 	} else {
 		s.stats.BytesWritten += n
 		s.tel.bytesWritten.Add(float64(n))
 	}
-	ioStart := s.Engine.Now()
-	s.Engine.MustAfter(d, "io", func() {
-		c.Busy = false
-		s.tel.ioSeconds.Observe(float64(d))
-		s.tel.spans.Span(c.spanTrack, name, ioStart, s.Engine.Now())
-		done(d, nil)
-	})
+	c.scratch.ioDone = done
+	c.scratch.ioDur = d
+	c.scratch.ioStart = s.Engine.Now()
+	c.scratch.ioName = name
+	s.Engine.MustAfter(d, evIO, c.scratch.ioFinish)
 }
 
 // degradedRead serves what survives of an n-byte read on an array past its
@@ -788,10 +629,10 @@ func (s *System) degradedRead(c *Cart, n units.Bytes, done func(units.Seconds, e
 	s.tel.degradedReads.Inc()
 	s.tel.bytesRead.Add(float64(serve))
 	ioStart := s.Engine.Now()
-	s.Engine.MustAfter(d, "io-degraded", func() {
+	s.Engine.MustAfter(d, evIODegraded, func() {
 		c.Busy = false
 		s.tel.ioSeconds.Observe(float64(d))
-		s.tel.spans.Span(c.spanTrack, "io-degraded", ioStart, s.Engine.Now(),
+		s.tel.spans.RecordSpan(c.trackID, s.tel.ids.ioDegr, ioStart, s.Engine.Now(),
 			telemetry.KV{Key: "degraded", Value: "true"})
 		done(d, fmt.Errorf("%w: cart %d served %v of %v", ErrDegradedRead, c.ID, serve, n))
 	})

@@ -3,7 +3,6 @@ package dhlsys
 import (
 	"strconv"
 
-	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/track"
 	"repro/internal/units"
@@ -47,7 +46,28 @@ type telemetryHooks struct {
 	ioSeconds     *telemetry.Histogram
 	waitSeconds   *telemetry.Histogram
 
-	simTime *telemetry.Gauge
+	simTime   *telemetry.Gauge
+	simEvents *telemetry.Counter
+
+	// ids are the span-log string IDs for the fixed name vocabulary
+	// (names.go), interned once here so every record site is an ID-based
+	// RecordSpan/RecordInstant — no per-record intern lookup. Zero-valued
+	// when telemetry is disabled, which is harmless: records on a nil log
+	// are no-ops.
+	ids spanIDs
+
+	// kvScratch is reused backing for hot-path span annotations; SpanLog
+	// copies args on record, so handing out views of this array is safe.
+	kvScratch [2]telemetry.KV
+}
+
+// spanIDs holds the interned IDs of the dhlsys span/instant vocabulary.
+type spanIDs struct {
+	undock, dock, transit   telemetry.StrID
+	accel, cruise, brake    telemetry.StrID
+	loiter, enqueue         telemetry.StrID
+	ioRead, ioWrite, ioDegr telemetry.StrID
+	stall, reroute, timeout telemetry.StrID
 }
 
 // initTelemetry binds the system (and its plant, injector, and engine) to
@@ -76,24 +96,41 @@ func (s *System) initTelemetry(set *telemetry.Set) {
 		ioSeconds:        reg.Histogram("dhl_io_seconds", ioBuckets),
 		waitSeconds:      reg.Histogram("dhl_queue_wait_seconds", waitBuckets),
 		simTime:          reg.Gauge("dhl_sim_time_seconds"),
+		simEvents:        reg.Counter("dhl_sim_events_total"),
 	}
 	if set == nil {
 		return
 	}
+	sp := s.tel.spans
+	s.tel.ids = spanIDs{
+		undock: sp.Intern(spanUndock), dock: sp.Intern(spanDock),
+		transit: sp.Intern(spanTransit), accel: sp.Intern(spanAccel),
+		cruise: sp.Intern(spanCruise), brake: sp.Intern(spanBrake),
+		loiter: sp.Intern(spanLoiter), enqueue: sp.Intern(spanEnqueue),
+		ioRead: sp.Intern(spanIORead), ioWrite: sp.Intern(spanIOWrite),
+		ioDegr: sp.Intern(spanIODegr), stall: sp.Intern(markStall),
+		reroute: sp.Intern(markReroute), timeout: sp.Intern(markTimeout),
+	}
+	for _, c := range s.carts {
+		c.trackID = sp.Intern(c.spanTrack)
+	}
 	s.rail.Instrument(reg)
 	s.dock.Instrument(reg)
 	s.inj.SetTelemetry(set)
-	events := reg.Counter("dhl_sim_events_total")
-	s.Engine.AddTracer(func(sim.Event) { events.Inc() })
 }
 
 // Telemetry returns the system's telemetry set (nil when disabled).
 func (s *System) Telemetry() *telemetry.Set { return s.telSet }
 
-// MetricsSnapshot refreshes the sim-time gauge and snapshots the metrics
+// MetricsSnapshot refreshes the derived metrics — the sim-time gauge and
+// the event counter, which syncs from the engine's processed count here
+// rather than paying a tracer callback per event — and snapshots the
 // registry. The zero snapshot is returned when telemetry is disabled.
+// Direct Registry.Snapshot calls bypass this refresh and see the derived
+// metrics as of the previous MetricsSnapshot.
 func (s *System) MetricsSnapshot() telemetry.Snapshot {
 	s.tel.simTime.Set(float64(s.Engine.Now()))
+	s.tel.simEvents.Add(float64(s.Engine.Processed()) - s.tel.simEvents.Value())
 	return s.telSet.MetricsOf().Snapshot()
 }
 
@@ -121,7 +158,7 @@ func (s *System) recordLaunch(c *Cart, dyn launchDynamics) {
 func (s *System) markReroute(c *Cart, dir track.Direction) {
 	s.stats.Reroutes++
 	s.tel.reroutes.Inc()
-	s.tel.spans.Mark(c.spanTrack, "reroute", s.Engine.Now(),
+	s.tel.spans.RecordInstant(c.trackID, s.tel.ids.reroute, s.Engine.Now(),
 		telemetry.KV{Key: "dir", Value: dir.String()})
 }
 
@@ -132,7 +169,7 @@ func (s *System) recordQueueWait(c *Cart, op string, since units.Seconds) {
 	now := s.Engine.Now()
 	s.tel.waitSeconds.Observe(float64(now - since))
 	if s.tel.spans != nil && since < now {
-		s.tel.spans.Span(c.spanTrack, "enqueue", since, now,
+		s.tel.spans.RecordSpan(c.trackID, s.tel.ids.enqueue, since, now,
 			telemetry.KV{Key: "op", Value: op})
 	}
 }
@@ -145,18 +182,22 @@ func (s *System) recordTransit(c *Cart, start, end units.Seconds, dyn launchDyna
 	if s.tel.spans == nil {
 		return
 	}
-	args := []telemetry.KV{{Key: "dir", Value: dir.String()}}
+	// Annotations reuse the hooks' scratch array: the append below stays
+	// within its capacity and SpanLog copies on record, so this path
+	// allocates nothing.
+	args := s.tel.kvScratch[:0]
+	args = append(args, telemetry.KV{Key: "dir", Value: dir.String()})
 	if dyn.degraded {
 		args = append(args, telemetry.KV{Key: "degraded", Value: "true"})
 	}
-	s.tel.spans.Span(c.spanTrack, "transit", start, end, args...)
+	s.tel.spans.RecordSpan(c.trackID, s.tel.ids.transit, start, end, args...)
 	ramp := dyn.ramp
 	if 2*ramp > end-start {
 		// Triangular profile (or a clamp from degraded physics): the cart
 		// never cruises.
 		ramp = (end - start) / 2
 	}
-	s.tel.spans.Span(c.spanTrack, "accel", start, start+ramp)
-	s.tel.spans.Span(c.spanTrack, "cruise", start+ramp, end-ramp)
-	s.tel.spans.Span(c.spanTrack, "brake", end-ramp, end)
+	s.tel.spans.RecordSpan(c.trackID, s.tel.ids.accel, start, start+ramp)
+	s.tel.spans.RecordSpan(c.trackID, s.tel.ids.cruise, start+ramp, end-ramp)
+	s.tel.spans.RecordSpan(c.trackID, s.tel.ids.brake, end-ramp, end)
 }

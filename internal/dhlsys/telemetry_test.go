@@ -9,7 +9,9 @@ import (
 )
 
 // shuttleWith runs a small instrumented bulk transfer and returns the
-// result and the telemetry set (nil set → uninstrumented).
+// result and the telemetry set (nil set → uninstrumented). The returned
+// system has had MetricsSnapshot called, so derived metrics (sim time,
+// event count) are synced.
 func shuttleWith(t *testing.T, set *telemetry.Set, script *faults.Script) (ShuttleResult, Stats) {
 	t.Helper()
 	opt := DefaultOptions()
@@ -26,6 +28,9 @@ func shuttleWith(t *testing.T, set *telemetry.Set, script *faults.Script) (Shutt
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if set != nil {
+		sys.MetricsSnapshot()
 	}
 	return res, sys.Stats()
 }

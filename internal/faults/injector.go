@@ -98,10 +98,37 @@ type Injector struct {
 	telRecovered *telemetry.Counter
 	telPerKind   [numKinds]*telemetry.Counter
 	telSpans     *telemetry.SpanLog
+
+	// Interned span-log IDs (SetTelemetry): the faults track, each kind's
+	// instant-mark name, and each kind's outage-span name. Stochastic
+	// sources strike on the hot event loop, so marks are ID-based records.
+	trackID   telemetry.StrID
+	kindIDs   [numKinds]telemetry.StrID
+	outageIDs [numKinds]telemetry.StrID
 }
 
 // FaultTrack is the span-log track name fault events land on.
 const FaultTrack = "faults"
+
+// Interned per-kind event and span names. Stochastic sources inject on
+// the hot event loop (the per-launch SSD dice), so the naming of fault,
+// repair, and outage events must not concatenate strings per fault.
+var (
+	faultEventNames    [numKinds]string
+	repairEventNames   [numKinds]string
+	outageSpanNames    [numKinds]string
+	perKindMetricNames [numKinds]string
+)
+
+func init() {
+	for k := 0; k < int(numKinds); k++ {
+		s := Kind(k).String()
+		faultEventNames[k] = "fault:" + s
+		repairEventNames[k] = "repair:" + s
+		outageSpanNames[k] = "outage:" + s
+		perKindMetricNames[k] = "dhl_faults_" + s + "_total"
+	}
+}
 
 // SetTelemetry wires the injector to a telemetry set: every fault
 // increments dhl_faults_injected_total and its per-kind counter, repairs
@@ -114,9 +141,14 @@ func (in *Injector) SetTelemetry(set *telemetry.Set) {
 	in.telInjected = reg.Counter("dhl_faults_injected_total")
 	in.telRecovered = reg.Counter("dhl_faults_recovered_total")
 	for k := 0; k < int(numKinds); k++ {
-		in.telPerKind[k] = reg.Counter("dhl_faults_" + Kind(k).String() + "_total")
+		in.telPerKind[k] = reg.Counter(perKindMetricNames[k])
 	}
 	in.telSpans = set.SpansOf()
+	in.trackID = in.telSpans.Intern(FaultTrack)
+	for k := 0; k < int(numKinds); k++ {
+		in.kindIDs[k] = in.telSpans.Intern(Kind(k).String())
+		in.outageIDs[k] = in.telSpans.Intern(outageSpanNames[k])
+	}
 }
 
 // NewInjector builds an injector for one engine/target pair. The script
@@ -139,7 +171,7 @@ func (in *Injector) Script() Script { return in.script }
 func (in *Injector) Arm() error {
 	for _, f := range in.script.Sorted() {
 		f := f
-		if _, err := in.engine.At(f.At, "fault:"+f.Kind.String(), func() {
+		if _, err := in.engine.At(f.At, faultEventNames[f.Kind], func() {
 			in.apply(f)
 		}); err != nil {
 			return fmt.Errorf("faults: arming %v: %w", f, err)
@@ -165,7 +197,7 @@ func (in *Injector) apply(f Fault) {
 	ks.Injected++
 	in.telInjected.Inc()
 	in.telPerKind[f.Kind].Inc()
-	in.telSpans.Mark(FaultTrack, f.Kind.String(), now,
+	in.telSpans.RecordInstant(in.trackID, in.kindIDs[f.Kind], now,
 		telemetry.KV{Key: "phase", Value: string(PhaseInject)},
 		telemetry.KV{Key: "target", Value: f.target()})
 	if f.Duration > 0 {
@@ -173,7 +205,7 @@ func (in *Injector) apply(f Fault) {
 			in.openStart = now
 		}
 		in.active++
-		in.engine.MustAfter(f.Duration, "repair:"+f.Kind.String(), func() {
+		in.engine.MustAfter(f.Duration, repairEventNames[f.Kind], func() {
 			in.recover(f)
 		})
 	}
@@ -187,7 +219,7 @@ func (in *Injector) recover(f Fault) {
 	ks.Recovered++
 	ks.Downtime += f.Duration
 	in.telRecovered.Inc()
-	in.telSpans.Span(FaultTrack, "outage:"+f.Kind.String(), now-f.Duration, now,
+	in.telSpans.RecordSpan(in.trackID, in.outageIDs[f.Kind], now-f.Duration, now,
 		telemetry.KV{Key: "target", Value: f.target()})
 	in.active--
 	if in.active == 0 {

@@ -45,6 +45,12 @@ type Line struct {
 	// cartAt maps cart → stop index; carts in transit are absent.
 	cartAt map[track.CartID]int
 	busy   map[track.CartID]bool
+	// trackName builds each cart's telemetry track ("cart-N") at Place
+	// time, keeping the per-move completion path free of string building;
+	// trackID holds the corresponding span-log intern IDs once telemetry
+	// is wired (SetTelemetry backfills carts placed before it ran).
+	trackName map[track.CartID]string
+	trackID   map[track.CartID]telemetry.StrID
 	// active spans: [lo, hi] stop-index ranges currently reserved.
 	active []span
 	// blocked spans: segments out of service (derailment, maintenance);
@@ -60,6 +66,7 @@ type Line struct {
 	telBlocked *telemetry.Counter
 	telWait    *telemetry.Histogram
 	telSpans   *telemetry.SpanLog
+	moveID     telemetry.StrID // interned "move" span name
 }
 
 // moveWaitBuckets is the queue-wait histogram layout, in seconds.
@@ -76,6 +83,12 @@ func (l *Line) SetTelemetry(set *telemetry.Set) {
 	l.telBlocked = reg.Counter("dhl_line_blocked_moves_total")
 	l.telWait = reg.Histogram("dhl_line_move_wait_seconds", moveWaitBuckets)
 	l.telSpans = set.SpansOf()
+	if l.telSpans != nil {
+		l.moveID = l.telSpans.Intern("move")
+		for id, name := range l.trackName {
+			l.trackID[id] = l.telSpans.Intern(name)
+		}
+	}
 }
 
 type span struct{ lo, hi int }
@@ -134,11 +147,13 @@ func New(cfg core.Config, stops []Stop) (*Line, error) {
 		}
 	}
 	return &Line{
-		Engine: sim.New(),
-		cfg:    cfg,
-		stops:  ss,
-		cartAt: make(map[track.CartID]int),
-		busy:   make(map[track.CartID]bool),
+		Engine:    sim.New(),
+		cfg:       cfg,
+		stops:     ss,
+		cartAt:    make(map[track.CartID]int),
+		busy:      make(map[track.CartID]bool),
+		trackName: make(map[track.CartID]string),
+		trackID:   make(map[track.CartID]telemetry.StrID),
 	}, nil
 }
 
@@ -164,6 +179,10 @@ func (l *Line) Place(id track.CartID, stop int) error {
 		return fmt.Errorf("multistop: cart %d already placed", id)
 	}
 	l.cartAt[id] = stop
+	l.trackName[id] = "cart-" + strconv.Itoa(int(id))
+	if l.telSpans != nil {
+		l.trackID[id] = l.telSpans.Intern(l.trackName[id])
+	}
 	return nil
 }
 
@@ -273,7 +292,7 @@ func (l *Line) Move(id track.CartID, to int, done func(error)) {
 			l.stats.Energy += hop.Energy
 			l.telMoves.Inc()
 			if l.telSpans != nil {
-				l.telSpans.Span("cart-"+strconv.Itoa(int(id)), "move", start, l.Engine.Now(),
+				l.telSpans.RecordSpan(l.trackID[id], l.moveID, start, l.Engine.Now(),
 					telemetry.KV{Key: "from", Value: l.stops[from].Name},
 					telemetry.KV{Key: "to", Value: l.stops[to].Name})
 			}

@@ -5,60 +5,48 @@
 // Events are executed in timestamp order; ties break in scheduling order, so
 // runs are fully deterministic. Simulated time is units.Seconds and never
 // reads the wall clock.
+//
+// The kernel is allocation-flat: events live in a slot arena owned by the
+// engine, ordered by an index-based 4-ary heap, with freed slots recycled
+// through a free list. Steady-state schedule/fire cycles therefore allocate
+// nothing — the arena grows only when the peak queue depth does. Callers
+// hold generation-counted Handles rather than pointers, so Cancel and
+// reschedule stay safe after a slot is reused (see DESIGN.md §10).
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
 	"repro/internal/units"
 )
 
-// Event is a scheduled callback. The zero value is inert.
+// Handle is a cancellable reference to a scheduled event. The zero Handle
+// is inert: it refers to no event and Cancel on it returns false. A Handle
+// goes stale the moment its event fires or is cancelled — the slot's
+// generation counter advances, so a stale Handle can never touch whatever
+// event is recycled into the same slot.
+type Handle struct {
+	idx int32  // arena index + 1; 0 marks the zero Handle
+	gen uint32 // slot generation the handle was minted against
+}
+
+// Event is the immutable view of a firing event handed to tracers.
 type Event struct {
 	Time units.Seconds
 	Name string
-
-	fn        func()
-	seq       uint64
-	index     int // heap index, -1 when not queued
-	cancelled bool
 }
 
-// Cancelled reports whether the event was cancelled before firing.
-func (e *Event) Cancelled() bool { return e.cancelled }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time < h[j].Time {
-		return true
-	}
-	if h[j].Time < h[i].Time {
-		return false
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// slot is one arena entry: either a queued event (pos ≥ 0) or a free-list
+// node (pos < 0, nextFree chaining to the next free slot).
+type slot struct {
+	time     units.Seconds
+	name     string
+	fn       func()
+	seq      uint64 // scheduling order, the deterministic tie-break
+	gen      uint32 // bumped on every free; invalidates outstanding Handles
+	pos      int32  // heap position, -1 when not queued
+	nextFree int32  // next free slot, -1 at the list tail
 }
 
 // tracerEntry is one registered tracer. The legacy flag marks the single
@@ -70,15 +58,18 @@ type tracerEntry struct {
 
 // Engine is the simulation clock and event queue.
 type Engine struct {
-	now       units.Seconds
-	queue     eventHeap
+	now units.Seconds
+	// arena owns every event slot; heap orders the queued ones by index.
+	arena     []slot
+	heap      []int32
+	freeHead  int32 // head of the free-slot list, -1 when empty
 	seq       uint64
 	processed int
 	tracers   []tracerEntry
 }
 
 // New returns an engine at time 0.
-func New() *Engine { return &Engine{} }
+func New() *Engine { return &Engine{freeHead: -1} }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() units.Seconds { return e.now }
@@ -109,7 +100,12 @@ func (e *Engine) SetTracer(fn func(Event)) {
 			continue
 		}
 		if fn == nil {
-			e.tracers = append(e.tracers[:i], e.tracers[i+1:]...)
+			n := len(e.tracers) - 1
+			copy(e.tracers[i:], e.tracers[i+1:])
+			// Zero the vacated tail slot so the backing array does not pin
+			// the dropped tracer's closure (and whatever it captured).
+			e.tracers[n] = tracerEntry{}
+			e.tracers = e.tracers[:n]
 		} else {
 			e.tracers[i].fn = fn
 		}
@@ -123,63 +119,123 @@ func (e *Engine) SetTracer(fn func(Event)) {
 // ErrPastEvent is returned when scheduling before the current time.
 var ErrPastEvent = errors.New("sim: cannot schedule event in the past")
 
+// allocSlot returns a free arena index, recycling the free list before
+// growing the arena.
+func (e *Engine) allocSlot() int32 {
+	if i := e.freeHead; i >= 0 {
+		e.freeHead = e.arena[i].nextFree
+		return i
+	}
+	e.arena = append(e.arena, slot{pos: -1, nextFree: -1})
+	return int32(len(e.arena) - 1)
+}
+
+// freeSlot returns a dequeued slot to the free list. The generation bump
+// is the handle-safety invariant: every Handle minted for the old tenancy
+// now mismatches and can never cancel the slot's next tenant.
+func (e *Engine) freeSlot(i int32) {
+	s := &e.arena[i]
+	s.fn = nil // drop the closure so the arena does not pin captured state
+	s.name = ""
+	s.gen++
+	s.pos = -1
+	s.nextFree = e.freeHead
+	e.freeHead = i
+}
+
 // At schedules fn at absolute time t and returns a cancellable handle.
-func (e *Engine) At(t units.Seconds, name string, fn func()) (*Event, error) {
+func (e *Engine) At(t units.Seconds, name string, fn func()) (Handle, error) {
 	if t < e.now {
-		return nil, fmt.Errorf("%w: t=%v now=%v (%s)", ErrPastEvent, t, e.now, name)
+		return Handle{}, fmt.Errorf("%w: t=%v now=%v (%s)", ErrPastEvent, t, e.now, name)
 	}
 	if fn == nil {
-		return nil, errors.New("sim: nil event callback")
+		return Handle{}, errors.New("sim: nil event callback")
 	}
-	ev := &Event{Time: t, Name: name, fn: fn, seq: e.seq, index: -1}
+	i := e.allocSlot()
+	s := &e.arena[i]
+	s.time, s.name, s.fn, s.seq = t, name, fn, e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev, nil
+	e.heapPush(i)
+	return Handle{idx: i + 1, gen: s.gen}, nil
 }
 
 // After schedules fn after delay d.
-func (e *Engine) After(d units.Seconds, name string, fn func()) (*Event, error) {
+func (e *Engine) After(d units.Seconds, name string, fn func()) (Handle, error) {
 	if d < 0 {
-		return nil, fmt.Errorf("%w: negative delay %v (%s)", ErrPastEvent, d, name)
+		return Handle{}, fmt.Errorf("%w: negative delay %v (%s)", ErrPastEvent, d, name)
 	}
 	return e.At(e.now+d, name, fn)
 }
 
 // MustAfter is After for delays known to be valid; it panics on error.
-func (e *Engine) MustAfter(d units.Seconds, name string, fn func()) *Event {
-	ev, err := e.After(d, name, fn)
+func (e *Engine) MustAfter(d units.Seconds, name string, fn func()) Handle {
+	h, err := e.After(d, name, fn)
 	if err != nil {
 		panic(err)
 	}
-	return ev
+	return h
 }
 
-// Cancel removes a pending event. Cancelling a fired or already-cancelled
-// event is a no-op returning false.
-func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.cancelled || ev.index < 0 {
+// lookup resolves a handle to its arena index if it still refers to a
+// queued event; ok is false for the zero Handle, fired or cancelled
+// events, and recycled slots.
+func (e *Engine) lookup(h Handle) (int32, bool) {
+	i := h.idx - 1
+	if i < 0 || int(i) >= len(e.arena) {
+		return 0, false
+	}
+	s := &e.arena[i]
+	if s.gen != h.gen || s.pos < 0 {
+		return 0, false
+	}
+	return i, true
+}
+
+// EventTime returns the scheduled time of a still-pending event; ok is
+// false if the handle is stale (fired, cancelled, or recycled).
+func (e *Engine) EventTime(h Handle) (units.Seconds, bool) {
+	i, ok := e.lookup(h)
+	if !ok {
+		return 0, false
+	}
+	return e.arena[i].time, true
+}
+
+// Cancel removes a pending event. Cancelling a fired, already-cancelled,
+// or zero handle is a no-op returning false.
+func (e *Engine) Cancel(h Handle) bool {
+	i, ok := e.lookup(h)
+	if !ok {
 		return false
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.cancelled = true
+	e.heapRemove(e.arena[i].pos)
+	e.freeSlot(i)
 	return true
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Step executes the next event, if any, and reports whether one ran.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	e.now = ev.Time
-	for i := range e.tracers {
-		e.tracers[i].fn(*ev)
+	i := e.heapPop()
+	s := &e.arena[i]
+	e.now = s.time
+	fn := s.fn
+	if len(e.tracers) > 0 {
+		ev := Event{Time: s.time, Name: s.name}
+		for j := range e.tracers {
+			e.tracers[j].fn(ev)
+		}
 	}
+	// Free before firing: the callback may schedule into (and recycle) this
+	// slot, and a stale Handle to the fired event must already be dead.
+	e.freeSlot(i)
 	e.processed++
-	ev.fn()
+	fn()
 	return true
 }
 
@@ -190,8 +246,8 @@ func (e *Engine) Run(maxEvents int) (int, error) {
 	for e.Step() {
 		n++
 		if maxEvents > 0 && n >= maxEvents {
-			if len(e.queue) > 0 {
-				return n, fmt.Errorf("sim: event budget %d exhausted with %d pending", maxEvents, len(e.queue))
+			if len(e.heap) > 0 {
+				return n, fmt.Errorf("sim: event budget %d exhausted with %d pending", maxEvents, len(e.heap))
 			}
 			break
 		}
@@ -202,7 +258,7 @@ func (e *Engine) Run(maxEvents int) (int, error) {
 // RunUntil executes events with Time ≤ t, then advances the clock to t.
 func (e *Engine) RunUntil(t units.Seconds) int {
 	n := 0
-	for len(e.queue) > 0 && e.queue[0].Time <= t {
+	for len(e.heap) > 0 && e.arena[e.heap[0]].time <= t {
 		e.Step()
 		n++
 	}

@@ -75,15 +75,15 @@ func TestPastSchedulingRejected(t *testing.T) {
 func TestCancel(t *testing.T) {
 	e := New()
 	ran := false
-	ev := e.MustAfter(1, "x", func() { ran = true })
-	if !e.Cancel(ev) {
+	h := e.MustAfter(1, "x", func() { ran = true })
+	if !e.Cancel(h) {
 		t.Fatal("first cancel must succeed")
 	}
-	if e.Cancel(ev) {
+	if e.Cancel(h) {
 		t.Fatal("second cancel must fail")
 	}
-	if !ev.Cancelled() {
-		t.Error("event not marked cancelled")
+	if _, ok := e.EventTime(h); ok {
+		t.Error("cancelled handle still resolves")
 	}
 	if _, err := e.Run(0); err != nil {
 		t.Fatal(err)
@@ -91,27 +91,122 @@ func TestCancel(t *testing.T) {
 	if ran {
 		t.Error("cancelled event fired")
 	}
-	if e.Cancel(nil) {
-		t.Error("cancelling nil must fail")
+	if e.Cancel(Handle{}) {
+		t.Error("cancelling the zero Handle must fail")
 	}
-	// Cancelling a fired event fails.
+}
+
+func TestCancelFiredEvent(t *testing.T) {
+	e := New()
 	fired := e.MustAfter(0, "fired", func() {})
 	e.Step()
 	if e.Cancel(fired) {
-		t.Error("cancelling fired event must fail")
+		t.Error("cancelling a fired event must fail")
+	}
+	if e.Cancel(fired) {
+		t.Error("double-cancelling a fired event must fail")
+	}
+	if _, ok := e.EventTime(fired); ok {
+		t.Error("fired handle still resolves")
+	}
+}
+
+// TestStaleHandleCannotTouchRecycledSlot is the generation-counter
+// invariant: a handle to a cancelled (or fired) event must not cancel
+// whatever event is recycled into the same arena slot.
+func TestStaleHandleCannotTouchRecycledSlot(t *testing.T) {
+	e := New()
+	old := e.MustAfter(1, "old", func() {})
+	if !e.Cancel(old) {
+		t.Fatal("cancel failed")
+	}
+	ran := false
+	// With the slot freed, the next schedule recycles it.
+	fresh := e.MustAfter(2, "fresh", func() { ran = true })
+	if e.Cancel(old) {
+		t.Fatal("stale handle cancelled the recycled slot's new event")
+	}
+	if _, ok := e.EventTime(old); ok {
+		t.Error("stale handle resolves against the recycled slot")
+	}
+	if tm, ok := e.EventTime(fresh); !ok || tm != 2 {
+		t.Fatalf("fresh handle EventTime = %v, %v; want 2, true", tm, ok)
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("recycled event did not fire")
+	}
+}
+
+// TestRescheduleIntoRecycledSlot exercises the stall-fault pattern:
+// read the pending time, cancel, and reschedule later — repeatedly, so
+// the replacement keeps landing in the recycled slot.
+func TestRescheduleIntoRecycledSlot(t *testing.T) {
+	e := New()
+	fires := 0
+	h := e.MustAfter(10, "transit", func() { fires++ })
+	for i := 0; i < 5; i++ {
+		tm, ok := e.EventTime(h)
+		if !ok {
+			t.Fatalf("iteration %d: handle stale", i)
+		}
+		if !e.Cancel(h) {
+			t.Fatalf("iteration %d: cancel failed", i)
+		}
+		var err error
+		h, err = e.At(tm+5, "transit", func() { fires++ })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fires != 1 {
+		t.Fatalf("fires = %d, want exactly 1", fires)
+	}
+	if e.Now() != 35 {
+		t.Fatalf("final time = %v, want 35 (10 + 5×5)", e.Now())
+	}
+}
+
+// TestArenaRecyclesSlots pins the allocation-flatness mechanism: a
+// self-rescheduling chain reuses one slot forever, so the arena never
+// grows past the peak queue depth.
+func TestArenaRecyclesSlots(t *testing.T) {
+	e := New()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 10_000 {
+			e.MustAfter(1, "tick", tick)
+		}
+	}
+	e.MustAfter(1, "tick", tick)
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10_000 {
+		t.Fatalf("fired %d events", n)
+	}
+	if got := len(e.arena); got != 1 {
+		t.Fatalf("arena holds %d slots after 10k chained events, want 1", got)
 	}
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	e := New()
 	var order []int
-	evs := make([]*Event, 10)
+	hs := make([]Handle, 10)
 	for i := 0; i < 10; i++ {
 		i := i
-		evs[i] = e.MustAfter(units.Seconds(i), "n", func() { order = append(order, i) })
+		hs[i] = e.MustAfter(units.Seconds(i), "n", func() { order = append(order, i) })
 	}
-	e.Cancel(evs[4])
-	e.Cancel(evs[7])
+	e.Cancel(hs[4])
+	e.Cancel(hs[7])
 	if _, err := e.Run(0); err != nil {
 		t.Fatal(err)
 	}
@@ -125,6 +220,47 @@ func TestCancelMiddleOfHeap(t *testing.T) {
 	}
 	if !sort.IntsAreSorted(order) {
 		t.Fatalf("order not sorted: %v", order)
+	}
+}
+
+// TestCancelRandomSubsetKeepsOrdering hammers heapRemove from arbitrary
+// positions: survivors must still fire in (time, seq) order.
+func TestCancelRandomSubsetKeepsOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		const total = 300
+		hs := make([]Handle, total)
+		fired := make([]int, 0, total)
+		for i := 0; i < total; i++ {
+			i := i
+			at := units.Seconds(rng.Intn(40)) // heavy ties
+			hs[i] = e.MustAfter(at, "r", func() { fired = append(fired, i) })
+		}
+		cancelled := make(map[int]bool)
+		for i := 0; i < total/3; i++ {
+			j := rng.Intn(total)
+			if e.Cancel(hs[j]) {
+				cancelled[j] = true
+			}
+		}
+		if _, err := e.Run(0); err != nil {
+			return false
+		}
+		if len(fired)+len(cancelled) != total {
+			return false
+		}
+		last := units.Seconds(math.Inf(-1))
+		for _, i := range fired {
+			if cancelled[i] {
+				return false
+			}
+			_ = last
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -241,6 +377,37 @@ func TestSetTracerShimReplacesOnlyItsSlot(t *testing.T) {
 	}
 	if len(fired) != 1 || fired[0] != "added" {
 		t.Fatalf("after SetTracer(nil): fired = %v, want [added]", fired)
+	}
+}
+
+// TestSetTracerRemovalClearsTailSlot pins the un-pinning fix: after the
+// legacy slot is removed, the backing array's vacated tail entry must be
+// zeroed so the dropped closure (and anything it captured) is collectable.
+func TestSetTracerRemovalClearsTailSlot(t *testing.T) {
+	e := New()
+	e.SetTracer(func(Event) {})
+	e.AddTracer(func(Event) {})
+	e.AddTracer(func(Event) {})
+	// Interleave: remove the legacy slot from the front of a longer chain.
+	e.SetTracer(nil)
+	if n := len(e.tracers); n != 2 {
+		t.Fatalf("tracer chain length = %d, want 2", n)
+	}
+	tail := e.tracers[:cap(e.tracers)]
+	for i := len(e.tracers); i < len(tail); i++ {
+		if tail[i].fn != nil {
+			t.Errorf("vacated tracer slot %d still pins a closure", i)
+		}
+	}
+	// Re-registering after removal still works and fires last.
+	var fired []string
+	e.SetTracer(func(Event) { fired = append(fired, "legacy2") })
+	e.MustAfter(1, "a", func() {})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != "legacy2" {
+		t.Fatalf("fired = %v, want [legacy2]", fired)
 	}
 }
 

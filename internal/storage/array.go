@@ -82,9 +82,14 @@ func NewArray(level RAIDLevel, spec DeviceSpec, n int, pcieGen, lanesPerDevice i
 	if lanesPerDevice < 1 {
 		return nil, fmt.Errorf("storage: need ≥1 lane per device, got %d", lanesPerDevice)
 	}
+	// One backing slab for the fleet's devices: a 32-SSD cart costs two
+	// allocations here, not 33, and construction dominates the shuttle
+	// benchmarks' allocation budget.
+	slab := make([]Device, n)
 	devs := make([]*Device, n)
 	for i := range devs {
-		devs[i] = NewDevice(spec)
+		slab[i] = Device{Spec: spec}
+		devs[i] = &slab[i]
 	}
 	return &Array{Level: level, Devices: devs, LanesPerDevice: lanesPerDevice, PCIeGen: pcieGen}, nil
 }

@@ -87,7 +87,7 @@ func ChromeTrace(l *SpanLog) ([]byte, error) {
 			Args: argsJSON(s.Args),
 		})
 	}
-	for _, in := range l.Instants() {
+	l.EachInstant(func(in Instant) {
 		timed = append(timed, chromeEvent{
 			Name: in.Name,
 			Ph:   "i",
@@ -97,7 +97,7 @@ func ChromeTrace(l *SpanLog) ([]byte, error) {
 			S:    "t",
 			Args: argsJSON(in.Args),
 		})
-	}
+	})
 	// Merge to one non-decreasing timeline; stable sort keeps the
 	// deterministic recording order for ties.
 	sort.SliceStable(timed, func(i, j int) bool { return timed[i].Ts < timed[j].Ts })

@@ -73,12 +73,18 @@ type Histogram struct {
 	count  uint64
 }
 
-// Observe records one value.
+// Observe records one value. The bucket walk is a branch-predictable
+// linear scan — bucket layouts here are ≤ a dozen bounds, where the scan
+// beats binary search and the record path stays free of calls, locks,
+// and allocations.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	i := 0
+	for i < len(h.bounds) && h.bounds[i] < v {
+		i++ // settles at the first bound ≥ v, or the +Inf overflow
+	}
 	h.counts[i]++
 	h.sum += v
 	h.count++
@@ -106,27 +112,78 @@ func (h *Histogram) Sum() float64 {
 // of registration order. A nil *Registry hands out nil handles, making
 // the whole instrumentation path a no-op.
 //
+// Each section is a pair of parallel slices kept sorted by name plus a
+// handle map. The sorted slices make snapshots order-deterministic with
+// no per-snapshot sort and no map iteration; the map makes repeat
+// registrations — every run against a pooled registry re-requests the
+// same ~30 names — a single lookup.
+//
 // The registry is not safe for concurrent use — it belongs to a
 // single-threaded simulation, matching the rest of the model stack.
 type Registry struct {
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-
-	// Insertion-ordered name lists: snapshots sort copies of these rather
-	// than ranging the maps, keeping every output path order-stable.
 	counterNames []string
+	counterVals  []*Counter
 	gaugeNames   []string
+	gaugeVals    []*Gauge
 	histNames    []string
+	histVals     []*Histogram
+
+	// Hit-path indexes: repeat registrations (every run against a pooled
+	// registry re-requests the same ~30 names) resolve with one map
+	// lookup instead of a binary search over the shared "dhl_" prefixes.
+	// The maps hold handles, not positions, so the sorted-insert shifts
+	// below never invalidate them.
+	counterIdx map[string]*Counter
+	gaugeIdx   map[string]*Gauge
+	histIdx    map[string]*Histogram
+
+	// Chunked backing store for counter handles: registration costs one
+	// allocation per chunk, not per metric. Handles point into a chunk,
+	// which stays alive through them; the chunk slice only ever appends
+	// within capacity before being replaced, so the pointers are stable.
+	counterSlab []Counter
 }
+
+// registryHint sizes the name lists and handle slab for a typical
+// instrumented simulation (the full system registers ~30 counters).
+const registryHint = 32
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counterNames: make([]string, 0, registryHint),
+		counterVals:  make([]*Counter, 0, registryHint),
+		counterIdx:   make(map[string]*Counter, registryHint),
 	}
+}
+
+// Reset zeroes every metric while keeping the namespace and the handles —
+// the pooling path for drivers that run many simulations against one
+// long-lived registry. Handles obtained before the Reset stay valid (the
+// next run's Counter/Gauge/Histogram calls return the same ones) and read
+// as freshly created. Safe on a nil receiver.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	for _, c := range r.counterVals {
+		c.v = 0
+	}
+	for _, g := range r.gaugeVals {
+		g.v = 0
+	}
+	for _, h := range r.histVals {
+		clear(h.counts)
+		h.sum = 0
+		h.count = 0
+	}
+}
+
+// findName locates name in the sorted list, returning its index and
+// whether it is present (the index is the insertion point when absent).
+func findName(names []string, name string) (int, bool) {
+	i := sort.SearchStrings(names, name)
+	return i, i < len(names) && names[i] == name
 }
 
 // Counter returns the named counter, creating it on first use. Returns
@@ -135,12 +192,18 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
-	if c, ok := r.counters[name]; ok {
+	if c, ok := r.counterIdx[name]; ok {
 		return c
 	}
-	c := &Counter{}
-	r.counters[name] = c
-	r.counterNames = append(r.counterNames, name)
+	i, _ := findName(r.counterNames, name)
+	if len(r.counterSlab) == cap(r.counterSlab) {
+		r.counterSlab = make([]Counter, 0, registryHint)
+	}
+	r.counterSlab = append(r.counterSlab, Counter{})
+	c := &r.counterSlab[len(r.counterSlab)-1]
+	r.counterNames = insertAt(r.counterNames, i, name)
+	r.counterVals = insertAt(r.counterVals, i, c)
+	r.counterIdx[name] = c
 	return c
 }
 
@@ -150,12 +213,17 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	if g, ok := r.gauges[name]; ok {
+	if g, ok := r.gaugeIdx[name]; ok {
 		return g
 	}
+	i, _ := findName(r.gaugeNames, name)
 	g := &Gauge{}
-	r.gauges[name] = g
-	r.gaugeNames = append(r.gaugeNames, name)
+	r.gaugeNames = insertAt(r.gaugeNames, i, name)
+	r.gaugeVals = insertAt(r.gaugeVals, i, g)
+	if r.gaugeIdx == nil {
+		r.gaugeIdx = make(map[string]*Gauge, 8)
+	}
+	r.gaugeIdx[name] = g
 	return g
 }
 
@@ -168,23 +236,28 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
-	if h, ok := r.hists[name]; ok {
+	if h, ok := r.histIdx[name]; ok {
 		return h
 	}
+	i, _ := findName(r.histNames, name)
 	if len(bounds) == 0 {
 		panic(fmt.Sprintf("telemetry: histogram %q needs at least one bucket bound", name))
 	}
-	for i := 1; i < len(bounds); i++ {
-		if bounds[i] <= bounds[i-1] {
-			panic(fmt.Sprintf("telemetry: histogram %q bounds not ascending at index %d", name, i))
+	for j := 1; j < len(bounds); j++ {
+		if bounds[j] <= bounds[j-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not ascending at index %d", name, j))
 		}
 	}
 	h := &Histogram{
 		bounds: append([]float64(nil), bounds...),
 		counts: make([]uint64, len(bounds)+1),
 	}
-	r.hists[name] = h
-	r.histNames = append(r.histNames, name)
+	r.histNames = insertAt(r.histNames, i, name)
+	r.histVals = insertAt(r.histVals, i, h)
+	if r.histIdx == nil {
+		r.histIdx = make(map[string]*Histogram, 8)
+	}
+	r.histIdx[name] = h
 	return h
 }
 
@@ -232,29 +305,41 @@ func (r *Registry) Snapshot() Snapshot {
 		return Snapshot{}
 	}
 	var s Snapshot
-	for _, name := range sortedCopy(r.counterNames) {
-		s.Counters = append(s.Counters, CounterPoint{Name: name, Value: r.counters[name].v})
-	}
-	for _, name := range sortedCopy(r.gaugeNames) {
-		s.Gauges = append(s.Gauges, GaugePoint{Name: name, Value: r.gauges[name].v})
-	}
-	for _, name := range sortedCopy(r.histNames) {
-		h := r.hists[name]
-		hp := HistogramPoint{Name: name, Sum: h.sum, Count: h.count}
-		cum := uint64(0)
-		for i, b := range h.bounds {
-			cum += h.counts[i]
-			hp.Buckets = append(hp.Buckets, BucketPoint{UpperBound: b, Count: cum})
+	if n := len(r.counterNames); n > 0 {
+		s.Counters = make([]CounterPoint, n)
+		for i, name := range r.counterNames {
+			s.Counters[i] = CounterPoint{Name: name, Value: r.counterVals[i].v}
 		}
-		s.Histograms = append(s.Histograms, hp)
+	}
+	if n := len(r.gaugeNames); n > 0 {
+		s.Gauges = make([]GaugePoint, n)
+		for i, name := range r.gaugeNames {
+			s.Gauges[i] = GaugePoint{Name: name, Value: r.gaugeVals[i].v}
+		}
+	}
+	if n := len(r.histNames); n > 0 {
+		s.Histograms = make([]HistogramPoint, n)
+		for i, name := range r.histNames {
+			h := r.histVals[i]
+			hp := HistogramPoint{Name: name, Sum: h.sum, Count: h.count,
+				Buckets: make([]BucketPoint, 0, len(h.bounds))}
+			cum := uint64(0)
+			for j, b := range h.bounds {
+				cum += h.counts[j]
+				hp.Buckets = append(hp.Buckets, BucketPoint{UpperBound: b, Count: cum})
+			}
+			s.Histograms[i] = hp
+		}
 	}
 	return s
 }
 
-// sortedCopy returns names sorted without disturbing the original
-// insertion-ordered slice.
-func sortedCopy(names []string) []string {
-	out := append([]string(nil), names...)
-	sort.Strings(out)
-	return out
+// insertAt inserts v at index i, shifting the tail up. The registry's
+// lists are tiny and preallocated, so the shift is a short memmove.
+func insertAt[T any](s []T, i int, v T) []T {
+	var zero T
+	s = append(s, zero)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
 }

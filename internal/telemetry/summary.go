@@ -58,7 +58,7 @@ func SpanSummary(l *SpanLog) string {
 	}
 	index := make(map[string]int)
 	var rows []agg
-	for _, s := range l.Spans() {
+	l.EachSpan(func(s Span) {
 		key := s.Track + "\x00" + s.Name
 		i, ok := index[key]
 		if !ok {
@@ -68,7 +68,7 @@ func SpanSummary(l *SpanLog) string {
 		}
 		rows[i].count++
 		rows[i].total += float64(s.End - s.Start)
-	}
+	})
 	var b strings.Builder
 	b.WriteString("spans:\n")
 	tw, nw := len("track"), len("name")
@@ -84,7 +84,7 @@ func SpanSummary(l *SpanLog) string {
 	for _, r := range rows {
 		fmt.Fprintf(&b, "  %-*s %-*s %-8d %.3f\n", tw, r.track, nw, r.name, r.count, r.total)
 	}
-	if n := len(l.Instants()); n > 0 {
+	if n := l.NumInstants(); n > 0 {
 		fmt.Fprintf(&b, "  (+%d instant events)\n", n)
 	}
 	return b.String()

@@ -32,6 +32,19 @@ func NewSet() *Set {
 	return &Set{Metrics: NewRegistry(), Spans: NewSpanLog()}
 }
 
+// Reset clears both collectors for reuse while keeping their backing
+// storage — the pooling path for drivers that run many simulations
+// against one long-lived Set (sweeps, benchmarks, servers): the next run
+// records into recycled buffers instead of reallocating them. Safe on a
+// nil set.
+func (s *Set) Reset() {
+	if s == nil {
+		return
+	}
+	s.Metrics.Reset()
+	s.Spans.Reset()
+}
+
 // MetricsOf returns the metrics registry of a possibly-nil set.
 func (s *Set) MetricsOf() *Registry {
 	if s == nil {

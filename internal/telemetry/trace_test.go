@@ -150,3 +150,119 @@ func TestSpanSummary(t *testing.T) {
 		t.Error("nil log summary should be empty")
 	}
 }
+
+func TestSpanArgsCopiedNotRetained(t *testing.T) {
+	l := NewSpanLog()
+	args := []KV{{Key: "site", Value: "library"}}
+	l.Span("cart-0", "undock", 0, 5, args...)
+	l.Mark("faults", "stall", 3, args...)
+	args[0] = KV{Key: "clobbered", Value: "yes"}
+	if got := l.Spans()[0].Args[0]; got.Key != "site" || got.Value != "library" {
+		t.Errorf("span retained the caller's args slice: %+v", got)
+	}
+	if got := l.Instants()[0].Args[0]; got.Key != "site" || got.Value != "library" {
+		t.Errorf("instant retained the caller's args slice: %+v", got)
+	}
+}
+
+func TestArgSlabSurvivesChunkRollover(t *testing.T) {
+	// Force several slab chunks and verify early views stay intact: the
+	// slab only appends within a chunk, so a rollover must never move or
+	// overwrite annotations already handed out.
+	l := NewSpanLog()
+	n := argSlabChunk*2 + 7
+	for i := 0; i < n; i++ {
+		l.Span("t", "s", 0, 1,
+			KV{Key: "i", Value: strconvItoa(i)},
+			KV{Key: "j", Value: strconvItoa(i + 1)})
+	}
+	spans := l.Spans()
+	for i, s := range spans {
+		if len(s.Args) != 2 || s.Args[0].Value != strconvItoa(i) || s.Args[1].Value != strconvItoa(i+1) {
+			t.Fatalf("span %d args corrupted after rollover: %+v", i, s.Args)
+		}
+	}
+}
+
+// strconvItoa avoids importing strconv solely for the rollover test.
+func strconvItoa(i int) string { return string(rune('A' + i%26)) }
+
+func TestEachMatchesCopyingAccessors(t *testing.T) {
+	l := NewSpanLog()
+	l.Span("cart-1", "transit", 3, 9)
+	l.Span("cart-0", "transit", 1, 4, KV{Key: "k", Value: "v"})
+	l.Mark("faults", "stall", 2, KV{Key: "delay_s", Value: "5"})
+	l.Mark("faults", "leak", 6)
+
+	var iterSpans []Span
+	l.EachSpan(func(s Span) { iterSpans = append(iterSpans, s) })
+	copySpans := l.Spans()
+	if len(iterSpans) != len(copySpans) || len(iterSpans) != l.NumSpans() {
+		t.Fatalf("EachSpan yielded %d spans, Spans %d, NumSpans %d",
+			len(iterSpans), len(copySpans), l.NumSpans())
+	}
+	for i := range copySpans {
+		a, b := iterSpans[i], copySpans[i]
+		if a.Track != b.Track || a.Name != b.Name || len(a.Args) != len(b.Args) {
+			t.Errorf("span %d differs between paths: %+v vs %+v", i, a, b)
+		}
+	}
+	var iterInstants []Instant
+	l.EachInstant(func(in Instant) { iterInstants = append(iterInstants, in) })
+	copyInstants := l.Instants()
+	if len(iterInstants) != len(copyInstants) || len(iterInstants) != l.NumInstants() {
+		t.Fatalf("EachInstant yielded %d, Instants %d, NumInstants %d",
+			len(iterInstants), len(copyInstants), l.NumInstants())
+	}
+	for i := range copyInstants {
+		a, b := iterInstants[i], copyInstants[i]
+		if a.Track != b.Track || a.Name != b.Name || a.At != b.At || len(a.Args) != len(b.Args) {
+			t.Errorf("instant %d differs between paths: %+v vs %+v", i, a, b)
+		}
+	}
+
+	// Nil receivers: zero counts, no callbacks.
+	var nilLog *SpanLog
+	if nilLog.NumSpans() != 0 || nilLog.NumInstants() != 0 {
+		t.Error("nil log counts must be zero")
+	}
+	nilLog.EachSpan(func(Span) { t.Error("EachSpan callback on nil log") })
+	nilLog.EachInstant(func(Instant) { t.Error("EachInstant callback on nil log") })
+}
+
+// TestExportersByteIdenticalToCopyPath pins the exporter output against a
+// reference render built from the copying accessors — the iteration path
+// must not change a single byte of either export format.
+func TestExportersByteIdenticalToCopyPath(t *testing.T) {
+	l := NewSpanLog()
+	l.Span("cart-0", "undock", 0, 5, KV{Key: "site", Value: "library"})
+	l.Span("cart-1", "transit", 5, 25, KV{Key: "degraded", Value: "true"})
+	l.Span("cart-0", "transit", 5, 20)
+	l.Mark("faults", "vacuum-leak", 7, KV{Key: "pressure", Value: "5000Pa"})
+	l.Mark("faults", "stall", 9)
+
+	// Reference: a second log rebuilt through the copying accessors holds
+	// equal data, so both exports must serialise identically.
+	ref := NewSpanLog()
+	for _, s := range l.Spans() {
+		ref.Span(s.Track, s.Name, s.Start, s.End, s.Args...)
+	}
+	for _, in := range l.Instants() {
+		ref.Mark(in.Track, in.Name, in.At, in.Args...)
+	}
+
+	got, err := ChromeTrace(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ChromeTrace(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("ChromeTrace differs from copy-path reference:\n%s\nvs\n%s", got, want)
+	}
+	if a, b := SpanSummary(l), SpanSummary(ref); a != b {
+		t.Errorf("SpanSummary differs from copy-path reference:\n%s\nvs\n%s", a, b)
+	}
+}

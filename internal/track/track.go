@@ -219,6 +219,18 @@ func (b *DockBank) Instrument(reg *telemetry.Registry) {
 // Stations returns the number of docking stations.
 func (b *DockBank) Stations() int { return len(b.stations) }
 
+// HasFree reports whether at least one in-service station is unoccupied —
+// the hot-path form of FreeStations() > 0, exiting at the first free slot
+// instead of counting the whole bank on every queue retry.
+func (b *DockBank) HasFree() bool {
+	for i, s := range b.stations {
+		if s == NoCart && !b.failed[i] {
+			return true
+		}
+	}
+	return false
+}
+
 // FreeStations returns how many in-service stations are unoccupied.
 func (b *DockBank) FreeStations() int {
 	n := 0

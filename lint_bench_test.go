@@ -56,5 +56,8 @@ func BenchmarkLintModuleSequential(b *testing.B) { benchLintModule(b, 1) }
 
 // BenchmarkLintModuleParallel analyzes packages on the worker pool;
 // diagnostics are byte-identical to the sequential path
-// (TestParallelMatchesSequential in internal/lint).
+// (TestParallelMatchesSequential in internal/lint). On a single-core host
+// GOMAXPROCS(0) is 1 and this degenerates to the sequential schedule —
+// compare against Sequential only where GOMAXPROCS > 1 (see the notes in
+// BENCH_lint.json).
 func BenchmarkLintModuleParallel(b *testing.B) { benchLintModule(b, runtime.GOMAXPROCS(0)) }

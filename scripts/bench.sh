@@ -8,27 +8,39 @@
 #   scripts/bench.sh                                  # all benches → BENCH_sweep.json
 #   scripts/bench.sh BENCH_lint.json BenchmarkLintModule   # the dhllint engine only
 #   scripts/bench.sh telemetry                        # instrumentation overhead → BENCH_telemetry.json
+#   scripts/bench.sh kernel                           # event-kernel hot path → BENCH_kernel.json
 #
 # The telemetry mode runs the enabled/disabled shuttle pair and adds an
 # overhead_pct field (enabled vs disabled best-of-3 ns/op) to the output;
 # the acceptance target keeps the disabled path within 1 % of baseline.
+#
+# The kernel mode runs the event-kernel pair (burst and steady-state),
+# the shuttle workload, and the telemetry shuttle pair; kernel rows gain
+# an events_per_sec field and the output an overhead_pct (warm
+# telemetry-enabled vs disabled shuttle, the pooled-Set operating mode)
+# plus overhead_cold_pct (fresh Set per run).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_sweep.json}"
 pattern="${2:-.}"
 telemetry=0
+kernel=0
 if [[ "${1:-}" == "telemetry" ]]; then
     out="BENCH_telemetry.json"
     pattern="BenchmarkShuttleTelemetry(Disabled|Enabled)$"
     telemetry=1
+elif [[ "${1:-}" == "kernel" ]]; then
+    out="BENCH_kernel.json"
+    pattern="BenchmarkEventKernel(SteadyState)?$|BenchmarkSystemSimulation$|BenchmarkShuttleTelemetry(Disabled|Enabled|EnabledCold)$"
+    kernel=1
 fi
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run=NONE -bench="$pattern" -benchmem -count=3 . | tee "$raw"
 
-awk -v gomaxprocs="$(go env GOMAXPROCS 2>/dev/null || nproc)" -v telemetry="$telemetry" '
+awk -v gomaxprocs="$(go env GOMAXPROCS 2>/dev/null || nproc)" -v telemetry="$telemetry" -v kernel="$kernel" '
 /^Benchmark/ {
     # BenchmarkName-N  iters  ns/op  B/op  allocs/op
     name = $1
@@ -49,16 +61,25 @@ END {
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"count\": 3,\n"
     printf "  \"benchmarks\": [\n"
+    # Events fired per benchmark iteration, for the kernel throughput rows.
+    evop["BenchmarkEventKernel"] = 1000
+    evop["BenchmarkEventKernelSteadyState"] = 16384
     for (i = 1; i <= n; i++) {
         name = order[i]
-        printf "    {\"name\": \"%s\", \"ns_per_op\": %.1f, \"bytes_per_op\": %d, \"allocs_per_op\": %d}%s\n", \
-            name, best[name], bop[name], aop[name], (i < n ? "," : "")
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %.1f, \"bytes_per_op\": %d, \"allocs_per_op\": %d", \
+            name, best[name], bop[name], aop[name]
+        if (kernel && (name in evop) && best[name] > 0)
+            printf ", \"events_per_sec\": %.0f", evop[name] / best[name] * 1e9
+        printf "}%s\n", (i < n ? "," : "")
     }
     printf "  ]"
-    if (telemetry && ("BenchmarkShuttleTelemetryDisabled" in best) && ("BenchmarkShuttleTelemetryEnabled" in best)) {
+    if ((telemetry || kernel) && ("BenchmarkShuttleTelemetryDisabled" in best) && ("BenchmarkShuttleTelemetryEnabled" in best)) {
         off = best["BenchmarkShuttleTelemetryDisabled"]
         on = best["BenchmarkShuttleTelemetryEnabled"]
         printf ",\n  \"overhead_pct\": %.2f", (on - off) / off * 100
+        if (kernel && ("BenchmarkShuttleTelemetryEnabledCold" in best))
+            printf ",\n  \"overhead_cold_pct\": %.2f", \
+                (best["BenchmarkShuttleTelemetryEnabledCold"] - off) / off * 100
     }
     printf "\n}\n"
 }' "$raw" > "$out"
