@@ -1,8 +1,8 @@
 // Command dhllint runs the repository's domain-specific static analyzers
 // (internal/lint) over the module: determinism, map-order, unit-safety,
 // dimensional-flow, float-equality, and goroutine-hygiene rules, plus the
-// interprocedural purity pass over the module call graph — pure stdlib end
-// to end.
+// interprocedural purity and allocflow passes over the module call graph —
+// pure stdlib end to end.
 //
 // Usage:
 //
@@ -13,6 +13,7 @@
 //	go run ./cmd/dhllint -disable floateq ./...
 //	go run ./cmd/dhllint -graph ./...      # dump the call graph and exit
 //	go run ./cmd/dhllint -j 4 ./...        # bound the analysis worker pool
+//	                                       # (default: runtime.GOMAXPROCS)
 //
 // Exit status: 0 clean, 1 diagnostics found, 2 usage or load error.
 // Interprocedural findings carry the full source→sink call chain, in the
@@ -31,6 +32,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -38,7 +40,11 @@ import (
 )
 
 type report struct {
-	Module      string            `json:"module"`
+	Module string `json:"module"`
+	// GoMaxProcs records the host parallelism the worker pool defaulted
+	// to, so single-core no-speedup runs are self-explaining in recorded
+	// reports (see BENCH_lint.json).
+	GoMaxProcs  int               `json:"gomaxprocs"`
 	Total       int               `json:"total"`
 	Counts      map[string]int    `json:"counts"`
 	Diagnostics []lint.Diagnostic `json:"diagnostics"`
@@ -59,7 +65,7 @@ func runCLI(args []string, stdout, stderr io.Writer) int {
 		disable = fs.String("disable", "", "comma-separated rules to skip")
 		list    = fs.Bool("list", false, "list available rules and exit")
 		graph   = fs.Bool("graph", false, "dump the module call graph and exit")
-		workers = fs.Int("j", 0, "analysis workers (0 = GOMAXPROCS)")
+		workers = fs.Int("j", runtime.GOMAXPROCS(0), "analysis workers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -112,7 +118,8 @@ func runCLI(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *jsonOut {
-		r := report{Module: modpath, Total: len(diags), Counts: map[string]int{}, Diagnostics: diags}
+		r := report{Module: modpath, GoMaxProcs: runtime.GOMAXPROCS(0),
+			Total: len(diags), Counts: map[string]int{}, Diagnostics: diags}
 		if r.Diagnostics == nil {
 			r.Diagnostics = []lint.Diagnostic{}
 		}
@@ -141,8 +148,8 @@ func runCLI(args []string, stdout, stderr io.Writer) int {
 
 // ruleSet resolves -rules/-disable into the config's Enabled map,
 // rejecting unknown rule names. The name set is lint.Rules(): the
-// analyzers plus the module-level passes (purity, unusedallow) and the
-// "allow" justification check.
+// analyzers plus the module-level passes (purity, allocflow, unusedallow)
+// and the "allow" justification check.
 func ruleSet(rules, disable string) (map[string]bool, error) {
 	known := map[string]bool{}
 	for _, r := range lint.Rules() {

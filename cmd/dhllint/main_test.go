@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -24,7 +26,7 @@ func TestListRules(t *testing.T) {
 		t.Fatalf("-list exited %d", code)
 	}
 	for _, rule := range []string{"determinism", "maporder", "unitsafety", "dimflow",
-		"floateq", "goroutine", "purity", "unusedallow", "allow"} {
+		"floateq", "goroutine", "purity", "allocflow", "unusedallow", "allow"} {
 		if !strings.Contains(out, rule) {
 			t.Errorf("-list misses rule %q:\n%s", rule, out)
 		}
@@ -70,24 +72,69 @@ func TestJSONExitCode(t *testing.T) {
 	}
 }
 
-// TestJSONGolden locks the report schema byte for byte.
-func TestJSONGolden(t *testing.T) {
-	_, out, _ := run(t, "-json", "-rules", "floateq", filepath.Join(fixtureDir, "floateq_bad"))
-	golden := filepath.Join("testdata", "floateq_bad.json")
+// gomaxprocsLine matches the host-dependent parallelism field so golden
+// comparisons hold on any machine; the live value is asserted separately.
+var gomaxprocsLine = regexp.MustCompile(`"gomaxprocs": \d+`)
+
+// checkGolden compares a -json report against a recorded golden with the
+// gomaxprocs field normalised, and verifies the live field matches the
+// host.
+func checkGolden(t *testing.T, out, golden, regen string) {
+	t.Helper()
 	want, err := os.ReadFile(golden)
 	if err != nil {
-		t.Fatalf("read golden: %v (regenerate with: go run ./cmd/dhllint -json -rules floateq %s > %s)",
-			err, filepath.Join(fixtureDir, "floateq_bad"), golden)
+		t.Fatalf("read golden: %v (regenerate with: %s)", err, regen)
 	}
-	if out != string(want) {
+	norm := func(s string) string {
+		return gomaxprocsLine.ReplaceAllString(s, `"gomaxprocs": N`)
+	}
+	if norm(out) != norm(string(want)) {
 		t.Errorf("JSON report drifted from %s.\ngot:\n%s\nwant:\n%s", golden, out, want)
 	}
 	var r report
 	if err := json.Unmarshal([]byte(out), &r); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
-	if r.Total != len(r.Diagnostics) || r.Counts["floateq"] != r.Total {
+	if r.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		t.Errorf("report gomaxprocs = %d, host has %d", r.GoMaxProcs, runtime.GOMAXPROCS(0))
+	}
+	if r.Total != len(r.Diagnostics) {
 		t.Errorf("report totals inconsistent: %+v", r)
+	}
+}
+
+// TestJSONGolden locks the report schema byte for byte (modulo the
+// host-dependent gomaxprocs field).
+func TestJSONGolden(t *testing.T) {
+	_, out, _ := run(t, "-json", "-rules", "floateq", filepath.Join(fixtureDir, "floateq_bad"))
+	golden := filepath.Join("testdata", "floateq_bad.json")
+	checkGolden(t, out, golden,
+		"go run ./cmd/dhllint -json -rules floateq "+filepath.Join(fixtureDir, "floateq_bad")+" > "+golden)
+	var r report
+	if err := json.Unmarshal([]byte(out), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts["floateq"] != r.Total {
+		t.Errorf("report totals inconsistent: %+v", r)
+	}
+}
+
+// TestJSONGoldenAllocFlow locks the interprocedural report shape: allocflow
+// diagnostics must carry the shortest site→root call chain in the "chain"
+// field.
+func TestJSONGoldenAllocFlow(t *testing.T) {
+	_, out, _ := run(t, "-json", "-rules", "allocflow", filepath.Join(fixtureDir, "allocflow_bad"))
+	golden := filepath.Join("testdata", "allocflow_bad.json")
+	checkGolden(t, out, golden,
+		"go run ./cmd/dhllint -json -rules allocflow "+filepath.Join(fixtureDir, "allocflow_bad")+" > "+golden)
+	var r report
+	if err := json.Unmarshal([]byte(out), &r); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range r.Diagnostics {
+		if len(d.Chain) == 0 {
+			t.Errorf("allocflow diagnostic at %s:%d has no chain", d.File, d.Line)
+		}
 	}
 }
 

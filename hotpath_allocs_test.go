@@ -1,0 +1,222 @@
+//go:build !race
+
+package repro
+
+// Dynamic verification of the //dhllint:hotpath annotations: every
+// annotated entry point is driven through testing.AllocsPerRun and must
+// measure exactly zero steady-state allocations. The static allocflow
+// pass and these tests pin each other — the analyzer proves no allocating
+// construct is reachable, the run proves the exemptions (amortised
+// appends, cold branches behind allows) really stay cold.
+//
+// Excluded under -race: the race runtime inserts its own allocations,
+// which would fail the zero budgets without measuring the model.
+
+import (
+	"testing"
+
+	"repro/internal/dhlsys"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// zeroAllocs asserts f performs no allocations per run after its warm-up
+// call (AllocsPerRun runs f once before measuring).
+func zeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if n := testing.AllocsPerRun(100, f); n != 0 {
+		t.Errorf("%s: %.1f allocs/run, want 0", name, n)
+	}
+}
+
+// TestHotPathAllocsEventKernel pins the sim.Engine schedule/step cycle:
+// At/After/MustAfter, the heap push/pop/sift family, Cancel, and
+// EventTime, all against a warm arena.
+func TestHotPathAllocsEventKernel(t *testing.T) {
+	e := sim.New()
+	nop := func() {}
+	// Warm the arena and heap past the burst size below.
+	for i := 0; i < 64; i++ {
+		e.MustAfter(units.Seconds(i), "warm", nop)
+	}
+	for e.Step() {
+	}
+	misses := 0
+	zeroAllocs(t, "schedule/step", func() {
+		base := e.Now()
+		for i := 0; i < 32; i++ {
+			e.MustAfter(units.Seconds(i+1), "tick", nop)
+		}
+		h := e.MustAfter(base+1000, "cancelled", nop)
+		if _, ok := e.EventTime(h); !ok {
+			misses++
+		}
+		if !e.Cancel(h) {
+			misses++
+		}
+		for e.Step() {
+		}
+	})
+	if misses != 0 {
+		t.Fatalf("%d handle lookups missed", misses)
+	}
+}
+
+// TestHotPathAllocsSpanLog pins the telemetry record path: Reset, Intern,
+// RecordSpan with annotations, and RecordInstant against warm backing
+// arrays.
+func TestHotPathAllocsSpanLog(t *testing.T) {
+	log := telemetry.NewSpanLog()
+	rec := func() {
+		log.Reset() // keeps backing arrays; IDs must be re-interned
+		cart := log.Intern("cart-0")
+		transit := log.Intern("transit")
+		log.RecordSpan(cart, transit, 0, 1, telemetry.KV{Key: "dir", Value: "outbound"})
+		log.RecordSpan(cart, transit, 1, 2)
+		log.RecordInstant(cart, transit, 2, telemetry.KV{Key: "kind", Value: "stall"})
+	}
+	zeroAllocs(t, "span log record", rec)
+	if log.NumSpans() != 2 || log.NumInstants() != 1 {
+		t.Fatalf("log holds %d spans, %d instants; want 2, 1", log.NumSpans(), log.NumInstants())
+	}
+}
+
+// TestHotPathAllocsSpanLogGrow pins the pre-sizing path: after Grow, a
+// cold log records within capacity with no Reset needed.
+func TestHotPathAllocsSpanLogGrow(t *testing.T) {
+	log := telemetry.NewSpanLog()
+	cart := log.Intern("cart-0")
+	name := log.Intern("transit")
+	log.Grow(256, 256, 256)
+	at := units.Seconds(0)
+	zeroAllocs(t, "record after Grow", func() {
+		at++
+		log.RecordSpan(cart, name, at, at+1, telemetry.KV{Key: "dir", Value: "outbound"})
+		log.RecordInstant(cart, name, at)
+	})
+	if log.NumSpans() == 0 || log.NumInstants() == 0 {
+		t.Fatal("grown log recorded nothing")
+	}
+}
+
+// TestHotPathAllocsRegistry pins the metrics hot path: handle lookups by
+// name (warm map hits), counter/gauge updates, and histogram observation.
+func TestHotPathAllocsRegistry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	hist := reg.Histogram("dhl_launch_seconds", []float64{1, 2, 5})
+	v := 0.0
+	zeroAllocs(t, "registry record", func() {
+		v++
+		reg.Counter("dhl_launches_total").Inc()
+		reg.Counter("dhl_launch_energy_joules_total").Add(v)
+		reg.Gauge("dhl_sim_time_seconds").Set(v)
+		reg.Gauge("dhl_queue_depth").Add(-1)
+		hist.Observe(v)
+	})
+	if reg.Counter("dhl_launches_total").Value() == 0 || hist.Count() == 0 {
+		t.Fatal("registry recorded nothing")
+	}
+}
+
+// TestHotPathAllocsStorage pins Device and Array I/O. Repair resets the
+// allocation watermark each run so writes never hit the capacity error
+// path.
+func TestHotPathAllocsStorage(t *testing.T) {
+	dev := storage.NewDevice(storage.SabrentRocket4Plus)
+	failures := 0
+	zeroAllocs(t, "device write/read", func() {
+		if _, err := dev.Write(units.MB); err != nil {
+			failures++
+		}
+		if _, err := dev.Read(units.MB); err != nil {
+			failures++
+		}
+		dev.Repair()
+	})
+
+	arr, err := storage.NewArray(storage.RAID0, storage.SabrentRocket4Plus, 4, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroAllocs(t, "array write/read", func() {
+		if _, err := arr.Write(units.MB); err != nil {
+			failures++
+		}
+		if _, err := arr.Read(units.MB); err != nil {
+			failures++
+		}
+		for _, d := range arr.Devices {
+			d.Repair()
+		}
+	})
+	if failures != 0 {
+		t.Fatalf("%d I/O operations failed", failures)
+	}
+}
+
+// launchCycle builds a warmed single-cart system and returns one full
+// Open→drain→Close→drain cycle as a closure, plus a pointer to the error
+// slot the completion callbacks write.
+func launchCycle(t *testing.T, set *telemetry.Set) (func(), *error) {
+	t.Helper()
+	opt := dhlsys.DefaultOptions()
+	opt.NumCarts = 1
+	opt.DockStations = 1
+	opt.Telemetry = set
+	sys, err := dhlsys.New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastErr := new(error)
+	done := func(err error) {
+		if err != nil {
+			*lastErr = err
+		}
+	}
+	cycle := func() {
+		sys.Open(0, done)
+		for sys.Engine.Step() {
+		}
+		sys.Close(0, done)
+		for sys.Engine.Step() {
+		}
+	}
+	// Warm: grow the event arena, the request queue, and (when enabled)
+	// the telemetry structures to steady-state capacity.
+	for i := 0; i < 4; i++ {
+		cycle()
+	}
+	return cycle, lastErr
+}
+
+// TestHotPathAllocsLaunchLoop pins the full dhlsys scratch/launch loop —
+// every step function from tryOpen through ioFinish — with telemetry
+// disabled: the steady-state cycle must not allocate at all.
+func TestHotPathAllocsLaunchLoop(t *testing.T) {
+	cycle, lastErr := launchCycle(t, nil)
+	zeroAllocs(t, "launch loop (telemetry off)", cycle)
+	if *lastErr != nil {
+		t.Fatalf("cycle failed: %v", *lastErr)
+	}
+}
+
+// TestHotPathAllocsLaunchLoopTelemetry pins the same loop with telemetry
+// enabled. Metrics handles are warm map hits; the span log is pre-sized
+// with Grow so the record path appends within capacity throughout the
+// measurement.
+func TestHotPathAllocsLaunchLoopTelemetry(t *testing.T) {
+	set := telemetry.NewSet()
+	cycle, lastErr := launchCycle(t, set)
+	// ~12 spans and ~6 annotation KVs per cycle; reserve for the measured
+	// runs plus AllocsPerRun's warm-up call with generous headroom.
+	set.Spans.Grow(4096, 512, 2048)
+	zeroAllocs(t, "launch loop (telemetry on)", cycle)
+	if *lastErr != nil {
+		t.Fatalf("cycle failed: %v", *lastErr)
+	}
+	if set.Spans.NumSpans() == 0 {
+		t.Fatal("telemetry recorded no spans")
+	}
+}

@@ -68,6 +68,8 @@ func (s *System) bindLaunchSteps(c *Cart) {
 // tryOpenStep acquires the outbound launch resources: the outbound LIM
 // energised, a usable rail direction, and a free in-service station with
 // no mid-dock cart.
+//
+//dhllint:hotpath
 func (s *System) tryOpenStep(c *Cart) bool {
 	sc := &c.scratch
 	if !s.limUp(track.Outbound) || s.dock.Blocked() || !s.dock.HasFree() {
@@ -98,12 +100,15 @@ func (s *System) tryOpenStep(c *Cart) bool {
 }
 
 // outUndockStep completes the library-side undock of an outbound launch.
+//
+//dhllint:hotpath
 func (s *System) outUndockStep(c *Cart) {
 	sc := &c.scratch
 	s.stats.DockOps++
 	s.tel.dockOps.Inc()
 	s.tel.spans.RecordSpan(c.trackID, s.tel.ids.undock, c.launchStart, s.Engine.Now(),
 		telemetry.KV{Key: "site", Value: "library"})
+	//dhllint:allow allocflow -- fault injection schedules a repair closure; faults are off the steady path by definition
 	s.maybeFailSSD(c)
 	sc.dyn = s.dynamics()
 	if sc.dyn.degraded {
@@ -118,6 +123,8 @@ func (s *System) outUndockStep(c *Cart) {
 // station free at reservation time may have failed in flight; the cart
 // loiters at the bank (holding its rail slot) until a station is repaired
 // or freed.
+//
+//dhllint:hotpath
 func (s *System) outArriveStep(c *Cart) {
 	sc := &c.scratch
 	c.transitEv, c.transitFn = sim.Handle{}, nil
@@ -127,6 +134,8 @@ func (s *System) outArriveStep(c *Cart) {
 }
 
 // outTryDockStep claims a docking station for an arrived outbound cart.
+//
+//dhllint:hotpath
 func (s *System) outTryDockStep(c *Cart) bool {
 	sc := &c.scratch
 	if s.dock.Blocked() || !s.dock.HasFree() {
@@ -144,6 +153,8 @@ func (s *System) outTryDockStep(c *Cart) bool {
 }
 
 // outDockStep completes the endpoint dock and the outbound launch.
+//
+//dhllint:hotpath
 func (s *System) outDockStep(c *Cart) {
 	sc := &c.scratch
 	if err := s.dock.EndDock(c.ID); err != nil {
@@ -173,6 +184,8 @@ func (s *System) outDockStep(c *Cart) {
 }
 
 // tryCloseStep acquires the inbound return resources.
+//
+//dhllint:hotpath
 func (s *System) tryCloseStep(c *Cart) bool {
 	sc := &c.scratch
 	if !s.limUp(track.Inbound) || s.dock.Blocked() {
@@ -202,6 +215,8 @@ func (s *System) tryCloseStep(c *Cart) bool {
 }
 
 // inUndockStep completes the endpoint-side undock of an inbound return.
+//
+//dhllint:hotpath
 func (s *System) inUndockStep(c *Cart) {
 	sc := &c.scratch
 	if err := s.dock.EndUndock(c.ID); err != nil {
@@ -212,6 +227,7 @@ func (s *System) inUndockStep(c *Cart) {
 	s.tel.spans.RecordSpan(c.trackID, s.tel.ids.undock, c.launchStart, s.Engine.Now(),
 		telemetry.KV{Key: "site", Value: "endpoint"})
 	c.Loc = InTransit
+	//dhllint:allow allocflow -- fault injection schedules a repair closure; faults are off the steady path by definition
 	s.maybeFailSSD(c)
 	sc.dyn = s.dynamics()
 	if sc.dyn.degraded {
@@ -223,6 +239,8 @@ func (s *System) inUndockStep(c *Cart) {
 }
 
 // inArriveStep fires at the library end of the inbound transit.
+//
+//dhllint:hotpath
 func (s *System) inArriveStep(c *Cart) {
 	sc := &c.scratch
 	c.transitEv, c.transitFn = sim.Handle{}, nil
@@ -233,6 +251,8 @@ func (s *System) inArriveStep(c *Cart) {
 
 // inDockStep completes the library dock, services the cart, and finishes
 // the inbound return.
+//
+//dhllint:hotpath
 func (s *System) inDockStep(c *Cart) {
 	sc := &c.scratch
 	s.stats.DockOps++
@@ -264,12 +284,14 @@ func (s *System) inDockStep(c *Cart) {
 		for _, d := range c.Array.Devices {
 			if free := d.Free(); free > 0 {
 				if _, err := d.Write(free); err != nil {
+					//dhllint:allow allocflow -- reload failure aborts the cycle; the wrap only fires on a broken device
 					done(fmt.Errorf("dhlsys: reload cart %d: %w", c.ID, err))
 					return
 				}
 			}
 		}
 	}
+	//dhllint:allow allocflow -- connector service is scheduled maintenance: a deferred-completion closure, off the steady loop
 	switch err := s.maybeServiceConnector(c, done); {
 	case errors.Is(err, errServiceScheduled):
 		return // done fires when the service completes
@@ -282,6 +304,8 @@ func (s *System) inDockStep(c *Cart) {
 }
 
 // ioFinishStep completes a healthy-array Read/Write transfer.
+//
+//dhllint:hotpath
 func (s *System) ioFinishStep(c *Cart) {
 	sc := &c.scratch
 	c.Busy = false

@@ -447,6 +447,7 @@ func (s *System) checkLaunchTimeout(c *Cart) error {
 	s.stats.Timeouts++
 	s.tel.timeouts.Inc()
 	s.tel.spans.RecordInstant(c.trackID, s.tel.ids.timeout, s.Engine.Now())
+	//dhllint:allow allocflow -- timeout breach is a failed run's terminal report, not the steady loop
 	return fmt.Errorf("%w: cart %d took %.3fs (budget %.3fs)",
 		ErrLaunchTimeout, c.ID, float64(elapsed), float64(limit))
 }

@@ -103,8 +103,10 @@ func (f *Fleet) serviceThreshold() int {
 // cart is now due for connector service.
 func (f *Fleet) RecordDock(id track.CartID) (dueForService bool, err error) {
 	if _, ok := f.cycles[id]; !ok {
+		//dhllint:allow allocflow -- unknown-cart rejection is a caller bug, never the steady dock loop
 		return false, fmt.Errorf("%w: %d", ErrUnknownCart, id)
 	}
+	//dhllint:allow allocflow -- key pre-registered at construction; the increment rewrites an existing bucket
 	f.cycles[id]++
 	return f.cycles[id] >= f.serviceThreshold(), nil
 }

@@ -20,7 +20,11 @@
 //     at additions and at re-wraps into unit types;
 //   - floateq: no exact ==/!= between computed floats;
 //   - goroutine: no goroutines outside the sweep worker pool, and no
-//     WaitGroup.Add racing inside a spawned closure.
+//     WaitGroup.Add racing inside a spawned closure;
+//   - allocflow: the interprocedural allocation guard — functions annotated
+//     //dhllint:hotpath must be allocation-free, transitively over the same
+//     module call graph purity uses, with every violation reported as the
+//     shortest chain from the hot root to the allocation site.
 //
 // False positives are silenced in place with a justified escape hatch:
 //
@@ -43,7 +47,8 @@ import (
 )
 
 // Diagnostic is one finding, addressable as file:line:col. Interprocedural
-// findings (rule "purity") carry the source→sink call chain in Chain.
+// findings (rules "purity" and "allocflow") carry the source→sink call
+// chain in Chain.
 type Diagnostic struct {
 	File    string `json:"file"`
 	Line    int    `json:"line"`
@@ -160,6 +165,7 @@ func Rules() []RuleDoc {
 	}
 	out = append(out,
 		RuleDoc{"purity", "no transitive path from model code to ambient state (call-graph pass)"},
+		RuleDoc{"allocflow", "no allocation reachable from //dhllint:hotpath functions (call-graph pass)"},
 		RuleDoc{"unusedallow", "no //dhllint:allow comment that suppresses nothing"},
 		RuleDoc{"allow", "every //dhllint:allow carries a -- justification"},
 	)
@@ -262,12 +268,18 @@ func RunWithLoader(cfg Config, ld *Loader, importPaths []string) ([]Diagnostic, 
 		out = append(out, ds...)
 	}
 
-	// Module-level passes run after the pool: purity needs the whole
-	// call graph, and unusedallow must observe every used-mark,
-	// including those made by purity itself.
-	if cfg.ruleEnabled("purity") {
+	// Module-level passes run after the pool: purity and allocflow need
+	// the whole call graph (built once, shared — each pass keeps its own
+	// traversal state), and unusedallow must observe every used-mark,
+	// including those made by the graph passes themselves.
+	if cfg.ruleEnabled("purity") || cfg.ruleEnabled("allocflow") {
 		graph := buildCallGraph(&cfg, pkgs)
-		out = append(out, runPurity(&cfg, graph, allows)...)
+		if cfg.ruleEnabled("purity") {
+			out = append(out, runPurity(&cfg, graph, allows)...)
+		}
+		if cfg.ruleEnabled("allocflow") {
+			out = append(out, runAllocFlow(&cfg, graph, allows)...)
+		}
 	}
 	out = append(out, unusedAllowFindings(&cfg, allows)...)
 

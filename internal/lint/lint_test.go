@@ -309,6 +309,72 @@ func TestPurityAllowHatch(t *testing.T) {
 	}
 }
 
+// TestAllocFlowTransitiveChains is the allocation analogue of the purity
+// acceptance case: a //dhllint:hotpath function that allocates only
+// through two levels of helpers is flagged with the shortest site→root
+// chain, and every direct site kind is classified in place.
+func TestAllocFlowTransitiveChains(t *testing.T) {
+	cfg := fixtureConfig(t)
+	cfg.Enabled = map[string]bool{"allocflow": true}
+	diags, err := RunWithLoader(cfg, loader(t), []string{
+		fixtureBase + "allocflow_bad", fixtureBase + "allocflow_clean",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []diagKey{
+		{"allocflow", 24}, // HotChain → describe → format → fmt.Sprintf
+		{"allocflow", 31}, // make
+		{"allocflow", 32}, // growing append
+		{"allocflow", 33}, // interface boxing
+		{"allocflow", 34}, // map literal
+		{"allocflow", 35}, // map write
+	}
+	if !sameKeys(keysOf(diags), want) {
+		t.Fatalf("diagnostics = %v, want %v\nfull: %v", keysOf(diags), want, diags)
+	}
+	chain := diags[0]
+	if !strings.Contains(chain.Message, "describe → ") || !strings.Contains(chain.Message, "format → fmt.Sprintf") {
+		t.Errorf("message misses the rendered chain: %q", chain.Message)
+	}
+	if len(chain.Chain) != 3 {
+		t.Fatalf("Chain = %v, want 3 frames (describe, format, site)", chain.Chain)
+	}
+	for i, frag := range []string{"describe", "format", "fmt.Sprintf (allocates)"} {
+		if !strings.Contains(chain.Chain[i], frag) {
+			t.Errorf("Chain[%d] = %q, want it to mention %q", i, chain.Chain[i], frag)
+		}
+	}
+	for i, frag := range []string{"make([]int)", "growing append", "interface boxing", "map literal", "map write"} {
+		d := diags[i+1]
+		if !strings.Contains(d.Message, frag) {
+			t.Errorf("direct site %d = %q, want it to mention %q", i, d.Message, frag)
+		}
+		if len(d.Chain) != 1 {
+			t.Errorf("direct site %d Chain = %v, want the single site frame", i, d.Chain)
+		}
+	}
+}
+
+// TestAllocFlowAllowHatch covers the escape-hatch semantics: an in-place
+// allow kills the seed (so hot callers of the lazy path stay clean), a
+// call-site allow suppresses the edge report, and a stale allow is the
+// unusedallow finding the satellite requires.
+func TestAllocFlowAllowHatch(t *testing.T) {
+	cfg := fixtureConfig(t)
+	cfg.Enabled = map[string]bool{"allocflow": true, "allow": true, "unusedallow": true}
+	diags, err := RunWithLoader(cfg, loader(t), []string{fixtureBase + "allocflow_allow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []diagKey{
+		{"unusedallow", 47}, // Stale's allow suppresses nothing
+	}
+	if !sameKeys(keysOf(diags), want) {
+		t.Errorf("diagnostics = %v, want %v\nfull: %v", keysOf(diags), want, diags)
+	}
+}
+
 func TestCallGraphDump(t *testing.T) {
 	cfg := fixtureConfig(t)
 	var pkgs []*Package
@@ -342,6 +408,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 		fixtureBase + "determ_bad", fixtureBase + "maporder_bad", fixtureBase + "unitsafety_bad",
 		fixtureBase + "dimflow_bad", fixtureBase + "floateq_bad", fixtureBase + "goroutine_bad",
 		fixtureBase + "purity_helpers", fixtureBase + "purity_bad", fixtureBase + "unusedallow_bad",
+		fixtureBase + "allocflow_bad", fixtureBase + "allocflow_allow",
 	}
 	cfg := fixtureConfig(t)
 	cfg.Workers = 1

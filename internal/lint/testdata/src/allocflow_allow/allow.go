@@ -1,0 +1,49 @@
+// Package allocflowallow is a lint fixture for the escape hatch on the
+// allocflow rule: a justified in-place allow (the site stops seeding
+// taint, so hot callers stay clean), a call-site allow over a tainted
+// helper, and a stale allow that suppresses nothing — which unusedallow
+// must report.
+package allocflowallow
+
+// lazy grows its table on first use; the in-place allow kills the seed.
+type lazy struct {
+	table []int
+}
+
+// get is hot despite the lazy branch: the growth is justified cold.
+//
+//dhllint:hotpath
+func (l *lazy) get(i int) int {
+	if l.table == nil {
+		//dhllint:allow allocflow -- fixture: one-time lazy growth, not steady state
+		l.table = make([]int, 16)
+	}
+	return l.table[i]
+}
+
+// ViaAllowed reaches only the allowed site: clean.
+//
+//dhllint:hotpath
+func ViaAllowed(l *lazy) int {
+	return l.get(0)
+}
+
+// build allocates with no allow: tainted.
+func build(n int) []int {
+	return make([]int, n)
+}
+
+// ColdCall justifies the tainted call at the call site; taint still
+// flows through build, but this report is suppressed.
+//
+//dhllint:hotpath
+func ColdCall(n int) []int {
+	//dhllint:allow allocflow -- fixture: rebuild happens once per epoch, off the steady path
+	return build(n)
+}
+
+// Stale carries an allow that suppresses nothing.
+func Stale(x int) int {
+	//dhllint:allow allocflow -- fixture: nothing here allocates
+	return x + 1
+}

@@ -1,0 +1,63 @@
+// Package allocflowclean is a lint fixture: hot-path code written in the
+// exempt idioms — amortised self-append, value composites, pointer-shaped
+// and constant boxing, variadic non-interface arguments — that must
+// produce no allocflow diagnostics.
+package allocflowclean
+
+// Ring is a reusable buffer.
+type Ring struct {
+	buf []int
+}
+
+// Push appends in x = append(x, …) form: the amortised-growth idiom,
+// within capacity in steady state.
+//
+//dhllint:hotpath
+func (r *Ring) Push(v int) {
+	r.buf = append(r.buf, v)
+}
+
+// sum is a pure helper with no allocation sites.
+func sum(xs []int) int {
+	t := 0
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}
+
+// Total only calls clean helpers.
+//
+//dhllint:hotpath
+func Total(r *Ring) int {
+	return sum(r.buf)
+}
+
+// point is a plain value composite: it lives in its frame.
+type point struct{ x, y int }
+
+// Shift builds value composites and boxes only pointer-shaped and
+// constant values, none of which allocate.
+//
+//dhllint:hotpath
+func Shift(p *point, dx int) point {
+	q := point{x: p.x + dx, y: p.y}
+	var viaPointer interface{} = p
+	var viaConst interface{} = "tag"
+	_, _ = viaPointer, viaConst
+	return q
+}
+
+// kv mirrors the telemetry annotation shape.
+type kv struct{ k, v string }
+
+// record takes variadic non-interface arguments: the argument slice
+// stays on the caller's stack.
+func record(args ...kv) int { return len(args) }
+
+// Annotate passes value composites through a non-interface variadic.
+//
+//dhllint:hotpath
+func Annotate() int {
+	return record(kv{k: "dir", v: "out"}, kv{k: "op", v: "open"})
+}

@@ -77,6 +77,7 @@ func NewProfile(length units.Metres, maxSpeed units.MetresPerSecond, accel units
 		return p, ErrNonPositiveLength
 	}
 	if float64(length) < 2*p.rampDistance() {
+		//dhllint:allow allocflow -- geometry validation: degraded-physics rebuilds always pass it (the ramp only shrinks)
 		return p, fmt.Errorf("%w: need ≥ %.3g m for v=%.4g m/s at a=%.4g m/s²",
 			ErrTrackTooShort, 2*p.rampDistance(), float64(maxSpeed), float64(accel))
 	}

@@ -14,6 +14,8 @@ const heapArity = 4
 
 // heapLess orders two arena slots: earlier time first, scheduling order
 // breaking ties.
+//
+//dhllint:hotpath
 func (e *Engine) heapLess(a, b int32) bool {
 	sa, sb := &e.arena[a], &e.arena[b]
 	if sa.time < sb.time {
@@ -26,6 +28,8 @@ func (e *Engine) heapLess(a, b int32) bool {
 }
 
 // heapPush enqueues arena slot i.
+//
+//dhllint:hotpath
 func (e *Engine) heapPush(i int32) {
 	e.arena[i].pos = int32(len(e.heap))
 	e.heap = append(e.heap, i)
@@ -34,6 +38,8 @@ func (e *Engine) heapPush(i int32) {
 
 // heapPop dequeues and returns the root (earliest) slot index. The slot's
 // pos is left stale; callers free or re-push it immediately.
+//
+//dhllint:hotpath
 func (e *Engine) heapPop() int32 {
 	root := e.heap[0]
 	last := len(e.heap) - 1
@@ -49,6 +55,8 @@ func (e *Engine) heapPop() int32 {
 }
 
 // heapRemove deletes the entry at heap position pos (Cancel's path).
+//
+//dhllint:hotpath
 func (e *Engine) heapRemove(pos int32) {
 	last := int32(len(e.heap) - 1)
 	if pos != last {
@@ -64,6 +72,8 @@ func (e *Engine) heapRemove(pos int32) {
 }
 
 // siftUp restores the heap invariant upward from position i.
+//
+//dhllint:hotpath
 func (e *Engine) siftUp(i int) {
 	item := e.heap[i]
 	for i > 0 {
@@ -81,6 +91,8 @@ func (e *Engine) siftUp(i int) {
 
 // siftDown restores the heap invariant downward from position i,
 // reporting whether the item moved.
+//
+//dhllint:hotpath
 func (e *Engine) siftDown(i int) bool {
 	item := e.heap[i]
 	n := len(e.heap)

@@ -121,6 +121,8 @@ var ErrPastEvent = errors.New("sim: cannot schedule event in the past")
 
 // allocSlot returns a free arena index, recycling the free list before
 // growing the arena.
+//
+//dhllint:hotpath
 func (e *Engine) allocSlot() int32 {
 	if i := e.freeHead; i >= 0 {
 		e.freeHead = e.arena[i].nextFree
@@ -133,6 +135,8 @@ func (e *Engine) allocSlot() int32 {
 // freeSlot returns a dequeued slot to the free list. The generation bump
 // is the handle-safety invariant: every Handle minted for the old tenancy
 // now mismatches and can never cancel the slot's next tenant.
+//
+//dhllint:hotpath
 func (e *Engine) freeSlot(i int32) {
 	s := &e.arena[i]
 	s.fn = nil // drop the closure so the arena does not pin captured state
@@ -144,11 +148,15 @@ func (e *Engine) freeSlot(i int32) {
 }
 
 // At schedules fn at absolute time t and returns a cancellable handle.
+//
+//dhllint:hotpath
 func (e *Engine) At(t units.Seconds, name string, fn func()) (Handle, error) {
 	if t < e.now {
+		//dhllint:allow allocflow -- scheduling-in-the-past is a caller bug, never the steady state
 		return Handle{}, fmt.Errorf("%w: t=%v now=%v (%s)", ErrPastEvent, t, e.now, name)
 	}
 	if fn == nil {
+		//dhllint:allow allocflow -- nil-callback rejection is a caller bug, never the steady state
 		return Handle{}, errors.New("sim: nil event callback")
 	}
 	i := e.allocSlot()
@@ -160,14 +168,19 @@ func (e *Engine) At(t units.Seconds, name string, fn func()) (Handle, error) {
 }
 
 // After schedules fn after delay d.
+//
+//dhllint:hotpath
 func (e *Engine) After(d units.Seconds, name string, fn func()) (Handle, error) {
 	if d < 0 {
+		//dhllint:allow allocflow -- negative-delay rejection is a caller bug, never the steady state
 		return Handle{}, fmt.Errorf("%w: negative delay %v (%s)", ErrPastEvent, d, name)
 	}
 	return e.At(e.now+d, name, fn)
 }
 
 // MustAfter is After for delays known to be valid; it panics on error.
+//
+//dhllint:hotpath
 func (e *Engine) MustAfter(d units.Seconds, name string, fn func()) Handle {
 	h, err := e.After(d, name, fn)
 	if err != nil {
@@ -179,6 +192,8 @@ func (e *Engine) MustAfter(d units.Seconds, name string, fn func()) Handle {
 // lookup resolves a handle to its arena index if it still refers to a
 // queued event; ok is false for the zero Handle, fired or cancelled
 // events, and recycled slots.
+//
+//dhllint:hotpath
 func (e *Engine) lookup(h Handle) (int32, bool) {
 	i := h.idx - 1
 	if i < 0 || int(i) >= len(e.arena) {
@@ -193,6 +208,8 @@ func (e *Engine) lookup(h Handle) (int32, bool) {
 
 // EventTime returns the scheduled time of a still-pending event; ok is
 // false if the handle is stale (fired, cancelled, or recycled).
+//
+//dhllint:hotpath
 func (e *Engine) EventTime(h Handle) (units.Seconds, bool) {
 	i, ok := e.lookup(h)
 	if !ok {
@@ -203,6 +220,8 @@ func (e *Engine) EventTime(h Handle) (units.Seconds, bool) {
 
 // Cancel removes a pending event. Cancelling a fired, already-cancelled,
 // or zero handle is a no-op returning false.
+//
+//dhllint:hotpath
 func (e *Engine) Cancel(h Handle) bool {
 	i, ok := e.lookup(h)
 	if !ok {
@@ -217,6 +236,8 @@ func (e *Engine) Cancel(h Handle) bool {
 func (e *Engine) Pending() int { return len(e.heap) }
 
 // Step executes the next event, if any, and reports whether one ran.
+//
+//dhllint:hotpath
 func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false

@@ -318,7 +318,7 @@ func TestRunBudgetExactFinish(t *testing.T) {
 func TestTracer(t *testing.T) {
 	e := New()
 	var traced []string
-	e.SetTracer(func(ev Event) { traced = append(traced, ev.Name) })
+	e.AddTracer(func(ev Event) { traced = append(traced, ev.Name) })
 	e.MustAfter(1, "a", func() {})
 	e.MustAfter(2, "b", func() {})
 	if _, err := e.Run(0); err != nil {

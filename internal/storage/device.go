@@ -64,14 +64,18 @@ func (d *Device) PlugCount() int { return d.plugCount }
 
 // Write appends n bytes, returning the transfer time at the device's
 // sequential write rate.
+//
+//dhllint:hotpath
 func (d *Device) Write(n units.Bytes) (units.Seconds, error) {
 	if n < 0 {
 		return 0, ErrNegativeLength
 	}
 	if d.failed {
+		//dhllint:allow allocflow -- failed-device rejection is the fault path, not steady-state I/O
 		return 0, fmt.Errorf("%w: %s", ErrDeviceFailed, d.Spec.Name)
 	}
 	if d.used+n > d.Spec.Capacity {
+		//dhllint:allow allocflow -- capacity exhaustion ends the run; steady-state writes stay under the watermark
 		return 0, fmt.Errorf("%w: %v used, %v requested, %v capacity",
 			ErrOutOfSpace, d.used, n, d.Spec.Capacity)
 	}
@@ -82,14 +86,18 @@ func (d *Device) Write(n units.Bytes) (units.Seconds, error) {
 
 // Read reads n bytes from the allocated region, returning the transfer time
 // at the device's sequential read rate.
+//
+//dhllint:hotpath
 func (d *Device) Read(n units.Bytes) (units.Seconds, error) {
 	if n < 0 {
 		return 0, ErrNegativeLength
 	}
 	if d.failed {
+		//dhllint:allow allocflow -- failed-device rejection is the fault path, not steady-state I/O
 		return 0, fmt.Errorf("%w: %s", ErrDeviceFailed, d.Spec.Name)
 	}
 	if n > d.used {
+		//dhllint:allow allocflow -- out-of-range read is a caller bug, not steady-state I/O
 		return 0, fmt.Errorf("%w: %v allocated, %v requested", ErrOutOfRange, d.used, n)
 	}
 	d.bytesRead += n

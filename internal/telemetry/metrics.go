@@ -12,10 +12,14 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//dhllint:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Add increases the counter by delta; negative deltas are ignored
 // (counters are monotone by contract).
+//
+//dhllint:hotpath
 func (c *Counter) Add(delta float64) {
 	if c == nil || delta < 0 {
 		return
@@ -38,6 +42,8 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//dhllint:hotpath
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -46,6 +52,8 @@ func (g *Gauge) Set(v float64) {
 }
 
 // Add adjusts the gauge by delta (either sign).
+//
+//dhllint:hotpath
 func (g *Gauge) Add(delta float64) {
 	if g == nil {
 		return
@@ -77,6 +85,8 @@ type Histogram struct {
 // linear scan — bucket layouts here are ≤ a dozen bounds, where the scan
 // beats binary search and the record path stays free of calls, locks,
 // and allocations.
+//
+//dhllint:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
@@ -188,6 +198,8 @@ func findName(names []string, name string) (int, bool) {
 
 // Counter returns the named counter, creating it on first use. Returns
 // nil (a no-op handle) on a nil registry.
+//
+//dhllint:hotpath
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
@@ -197,12 +209,14 @@ func (r *Registry) Counter(name string) *Counter {
 	}
 	i, _ := findName(r.counterNames, name)
 	if len(r.counterSlab) == cap(r.counterSlab) {
+		//dhllint:allow allocflow -- miss path: registration allocates once per chunk, hits are map lookups
 		r.counterSlab = make([]Counter, 0, registryHint)
 	}
 	r.counterSlab = append(r.counterSlab, Counter{})
 	c := &r.counterSlab[len(r.counterSlab)-1]
 	r.counterNames = insertAt(r.counterNames, i, name)
 	r.counterVals = insertAt(r.counterVals, i, c)
+	//dhllint:allow allocflow -- miss path: one index insert per new name, hits never reach here
 	r.counterIdx[name] = c
 	return c
 }

@@ -101,6 +101,8 @@ func NewSpanLog() *SpanLog { return &SpanLog{} }
 // with no allocations at all. Interned StrIDs from before the Reset are
 // invalidated (the string table empties); re-intern after each Reset.
 // Safe on a nil receiver.
+//
+//dhllint:hotpath
 func (l *SpanLog) Reset() {
 	if l == nil {
 		return
@@ -116,18 +118,47 @@ func (l *SpanLog) Reset() {
 // deduplicate: callers intern each fixed name once (typically at system
 // construction) and pass the IDs to RecordSpan/RecordInstant. Returns 0
 // on a nil receiver (harmless: every record path on nil is a no-op).
+//
+//dhllint:hotpath
 func (l *SpanLog) Intern(s string) StrID {
 	if l == nil {
 		return 0
 	}
 	if len(l.strs) >= 1<<16 {
+		//dhllint:allow allocflow -- 64Ki-interns overflow is unreachable in a real run; dying loudly beats wrapping
 		panic(fmt.Sprintf("telemetry: span log string table overflow interning %q", s))
 	}
 	if l.strs == nil {
+		//dhllint:allow allocflow -- lazy first-use growth; steady state appends within capacity
 		l.strs = make([]string, 0, 32)
 	}
 	l.strs = append(l.strs, s)
 	return StrID(len(l.strs) - 1)
+}
+
+// Grow reserves capacity for at least spans more span records, instants
+// more instant records, and args more annotation KVs beyond the current
+// lengths. A caller that knows its recording volume can pre-size the log
+// and keep every subsequent record within capacity — the complement of
+// Reset for pinning the zero-allocation record path without recycling.
+// Safe on a nil receiver.
+func (l *SpanLog) Grow(spans, instants, args int) {
+	if l == nil {
+		return
+	}
+	l.recs = growCap(l.recs, spans)
+	l.instRecs = growCap(l.instRecs, instants)
+	l.argLog = growCap(l.argLog, args)
+}
+
+// growCap ensures s has capacity for at least n more elements.
+func growCap[T any](s []T, n int) []T {
+	if n <= cap(s)-len(s) {
+		return s
+	}
+	out := make([]T, len(s), len(s)+n)
+	copy(out, s)
+	return out
 }
 
 // internDedup is the string-compat path's lookup: one table entry per
@@ -146,11 +177,14 @@ func (l *SpanLog) internDedup(s string) StrID {
 
 // saveArgs copies args into the arg store and returns their (start, len)
 // window. Indices stay valid across store growth, unlike slices.
+//
+//dhllint:hotpath
 func (l *SpanLog) saveArgs(args []KV) (uint32, uint16) {
 	if len(args) == 0 {
 		return 0, 0
 	}
 	if l.argLog == nil {
+		//dhllint:allow allocflow -- lazy first-use growth; steady state appends within capacity
 		l.argLog = make([]KV, 0, argSlabChunk)
 	}
 	start := len(l.argLog)
@@ -162,6 +196,8 @@ func (l *SpanLog) saveArgs(args []KV) (uint32, uint16) {
 // the allocation-flat hot path. Inverted intervals (end < start) are
 // clamped to zero duration at start. The args slice is copied, never
 // retained.
+//
+//dhllint:hotpath
 func (l *SpanLog) RecordSpan(track, name StrID, start, end units.Seconds, args ...KV) {
 	if l == nil {
 		return
@@ -170,6 +206,7 @@ func (l *SpanLog) RecordSpan(track, name StrID, start, end units.Seconds, args .
 		end = start
 	}
 	if l.recs == nil {
+		//dhllint:allow allocflow -- lazy first-use growth; steady state appends within capacity
 		l.recs = make([]spanRec, 0, spanLogInitialSpans)
 	}
 	var as uint32
@@ -184,11 +221,14 @@ func (l *SpanLog) RecordSpan(track, name StrID, start, end units.Seconds, args .
 }
 
 // RecordInstant records a zero-duration event on interned IDs.
+//
+//dhllint:hotpath
 func (l *SpanLog) RecordInstant(track, name StrID, at units.Seconds, args ...KV) {
 	if l == nil {
 		return
 	}
 	if l.instRecs == nil {
+		//dhllint:allow allocflow -- lazy first-use growth; steady state appends within capacity
 		l.instRecs = make([]instRec, 0, spanLogInitialInstants)
 	}
 	var as uint32

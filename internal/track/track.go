@@ -146,10 +146,12 @@ func (r *Rail) Blocked(d Direction) bool { return *r.blockSlot(d) > 0 }
 // directions cannot be reserved.
 func (r *Rail) Reserve(id CartID, d Direction) error {
 	if r.Blocked(d) {
+		//dhllint:allow allocflow -- state-machine guard: error returns fire on contract violations, never on the steady launch loop
 		return fmt.Errorf("%w: %v rail blocked by a fault", ErrRailBlocked, d)
 	}
 	s := r.slot(d)
 	if *s != NoCart {
+		//dhllint:allow allocflow -- state-machine guard: error returns fire on contract violations, never on the steady launch loop
 		return fmt.Errorf("%w: cart %d holds the %v rail", ErrRailBusy, *s, d)
 	}
 	*s = id
@@ -161,6 +163,7 @@ func (r *Rail) Reserve(id CartID, d Direction) error {
 func (r *Rail) Release(id CartID, d Direction) error {
 	s := r.slot(d)
 	if *s != id {
+		//dhllint:allow allocflow -- state-machine guard: error returns fire on contract violations, never on the steady launch loop
 		return fmt.Errorf("%w: cart %d (holder %d)", ErrRailIdle, id, *s)
 	}
 	*s = NoCart
@@ -288,10 +291,12 @@ func (b *DockBank) Blocked() bool { return b.midDock != NoCart }
 // returned; the rail through the bank is blocked until EndDock.
 func (b *DockBank) BeginDock(id CartID) (int, error) {
 	if b.midDock != NoCart {
+		//dhllint:allow allocflow -- state-machine guard: error returns fire on contract violations, never on the steady launch loop
 		return 0, fmt.Errorf("%w: cart %d mid-dock", ErrDockBlocked, b.midDock)
 	}
 	for _, s := range b.stations {
 		if s == id {
+			//dhllint:allow allocflow -- state-machine guard: error returns fire on contract violations, never on the steady launch loop
 			return 0, fmt.Errorf("%w: cart %d", ErrDuplicate, id)
 		}
 	}
@@ -303,6 +308,7 @@ func (b *DockBank) BeginDock(id CartID) (int, error) {
 		}
 	}
 	if b.FailedStations() > 0 {
+		//dhllint:allow allocflow -- state-machine guard: error returns fire on contract violations, never on the steady launch loop
 		return 0, fmt.Errorf("%w: %d in-service stations occupied, %d failed",
 			ErrDockFull, len(b.stations)-b.FailedStations(), b.FailedStations())
 	}
@@ -312,6 +318,7 @@ func (b *DockBank) BeginDock(id CartID) (int, error) {
 // EndDock completes the docking of cart id, unblocking the rail.
 func (b *DockBank) EndDock(id CartID) error {
 	if b.midDock != id {
+		//dhllint:allow allocflow -- state-machine guard: error returns fire on contract violations, never on the steady launch loop
 		return fmt.Errorf("%w: cart %d (mid-dock %d)", ErrNotDocked, id, b.midDock)
 	}
 	b.midDock = NoCart
@@ -323,6 +330,7 @@ func (b *DockBank) EndDock(id CartID) error {
 // until EndUndock.
 func (b *DockBank) BeginUndock(id CartID) error {
 	if b.midDock != NoCart {
+		//dhllint:allow allocflow -- state-machine guard: error returns fire on contract violations, never on the steady launch loop
 		return fmt.Errorf("%w: cart %d mid-dock", ErrDockBlocked, b.midDock)
 	}
 	for _, s := range b.stations {
@@ -331,12 +339,14 @@ func (b *DockBank) BeginUndock(id CartID) error {
 			return nil
 		}
 	}
+	//dhllint:allow allocflow -- state-machine guard: error returns fire on contract violations, never on the steady launch loop
 	return fmt.Errorf("%w: cart %d", ErrNotDocked, id)
 }
 
 // EndUndock completes the ejection, freeing the station and the rail.
 func (b *DockBank) EndUndock(id CartID) error {
 	if b.midDock != id {
+		//dhllint:allow allocflow -- state-machine guard: error returns fire on contract violations, never on the steady launch loop
 		return fmt.Errorf("%w: cart %d (mid-dock %d)", ErrNotDocked, id, b.midDock)
 	}
 	for i, s := range b.stations {
@@ -347,6 +357,7 @@ func (b *DockBank) EndUndock(id CartID) error {
 			return nil
 		}
 	}
+	//dhllint:allow allocflow -- state-machine guard: error returns fire on contract violations, never on the steady launch loop
 	return fmt.Errorf("%w: cart %d vanished mid-undock", ErrNotDocked, id)
 }
 
@@ -390,11 +401,14 @@ func NewLibrary(capacity int) *Library {
 // Store parks a cart in the library.
 func (l *Library) Store(id CartID) error {
 	if l.slots[id] {
+		//dhllint:allow allocflow -- state-machine guard: error returns fire on contract violations, never on the steady launch loop
 		return fmt.Errorf("%w: cart %d", ErrDuplicate, id)
 	}
 	if l.cap > 0 && len(l.slots) >= l.cap {
+		//dhllint:allow allocflow -- state-machine guard: error returns fire on contract violations, never on the steady launch loop
 		return fmt.Errorf("%w: %d slots", ErrLibraryFull, l.cap)
 	}
+	//dhllint:allow allocflow -- bounded occupancy set: the fleet's cart IDs cycle through existing buckets after warm-up
 	l.slots[id] = true
 	return nil
 }
@@ -402,6 +416,7 @@ func (l *Library) Store(id CartID) error {
 // Remove takes a cart out of the library for launch.
 func (l *Library) Remove(id CartID) error {
 	if !l.slots[id] {
+		//dhllint:allow allocflow -- state-machine guard: error returns fire on contract violations, never on the steady launch loop
 		return fmt.Errorf("%w: cart %d", ErrNotInLibrary, id)
 	}
 	delete(l.slots, id)

@@ -5,7 +5,7 @@ package repro
 // module with a pre-warmed loader so the measured work is analysis, not
 // parsing and type-checking. Regenerate the regression record with
 //
-//	scripts/bench.sh BENCH_lint.json BenchmarkLintModule
+//	scripts/bench.sh lint
 
 import (
 	"os"
