@@ -1,14 +1,15 @@
 // Command dhllint runs the repository's domain-specific static analyzers
 // (internal/lint) over the module: determinism, map-order, unit-safety,
 // dimensional-flow, float-equality, and goroutine-hygiene rules, plus the
-// interprocedural purity and allocflow passes over the module call graph —
-// pure stdlib end to end.
+// interprocedural purity, allocflow, lockcheck, lockorder, and goescape
+// passes over the module call graph — pure stdlib end to end.
 //
 // Usage:
 //
 //	go run ./cmd/dhllint ./...             # lint every package
 //	go run ./cmd/dhllint ./internal/core   # lint specific directories
 //	go run ./cmd/dhllint -json ./...       # machine-readable report
+//	go run ./cmd/dhllint -sarif ./...      # SARIF 2.1.0 log for code scanning
 //	go run ./cmd/dhllint -rules determinism,maporder ./...
 //	go run ./cmd/dhllint -disable floateq ./...
 //	go run ./cmd/dhllint -graph ./...      # dump the call graph and exit
@@ -60,14 +61,19 @@ func runCLI(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dhllint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut = fs.Bool("json", false, "emit a JSON report instead of file:line:col lines")
-		rules   = fs.String("rules", "", "comma-separated rules to run (default: all)")
-		disable = fs.String("disable", "", "comma-separated rules to skip")
-		list    = fs.Bool("list", false, "list available rules and exit")
-		graph   = fs.Bool("graph", false, "dump the module call graph and exit")
-		workers = fs.Int("j", runtime.GOMAXPROCS(0), "analysis workers")
+		jsonOut  = fs.Bool("json", false, "emit a JSON report instead of file:line:col lines")
+		sarifOut = fs.Bool("sarif", false, "emit a SARIF 2.1.0 log (for GitHub code scanning)")
+		rules    = fs.String("rules", "", "comma-separated rules to run (default: all)")
+		disable  = fs.String("disable", "", "comma-separated rules to skip")
+		list     = fs.Bool("list", false, "list available rules and exit")
+		graph    = fs.Bool("graph", false, "dump the module call graph and exit")
+		workers  = fs.Int("j", runtime.GOMAXPROCS(0), "analysis workers")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "dhllint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -117,7 +123,8 @@ func runCLI(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		r := report{Module: modpath, GoMaxProcs: runtime.GOMAXPROCS(0),
 			Total: len(diags), Counts: map[string]int{}, Diagnostics: diags}
 		if r.Diagnostics == nil {
@@ -132,7 +139,14 @@ func runCLI(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "dhllint:", err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sarifReport(diags)); err != nil {
+			fmt.Fprintln(stderr, "dhllint:", err)
+			return 2
+		}
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}
@@ -148,8 +162,8 @@ func runCLI(args []string, stdout, stderr io.Writer) int {
 
 // ruleSet resolves -rules/-disable into the config's Enabled map,
 // rejecting unknown rule names. The name set is lint.Rules(): the
-// analyzers plus the module-level passes (purity, allocflow, unusedallow)
-// and the "allow" justification check.
+// analyzers plus the module-level passes (purity, allocflow, lockcheck,
+// lockorder, goescape, unusedallow) and the "allow" justification check.
 func ruleSet(rules, disable string) (map[string]bool, error) {
 	known := map[string]bool{}
 	for _, r := range lint.Rules() {

@@ -26,7 +26,8 @@ func TestListRules(t *testing.T) {
 		t.Fatalf("-list exited %d", code)
 	}
 	for _, rule := range []string{"determinism", "maporder", "unitsafety", "dimflow",
-		"floateq", "goroutine", "purity", "allocflow", "unusedallow", "allow"} {
+		"floateq", "goroutine", "purity", "allocflow", "lockcheck", "lockorder",
+		"goescape", "unusedallow", "allow"} {
 		if !strings.Contains(out, rule) {
 			t.Errorf("-list misses rule %q:\n%s", rule, out)
 		}
@@ -135,6 +136,124 @@ func TestJSONGoldenAllocFlow(t *testing.T) {
 		if len(d.Chain) == 0 {
 			t.Errorf("allocflow diagnostic at %s:%d has no chain", d.File, d.Line)
 		}
+	}
+}
+
+// TestJSONGoldenLockCheck locks the lock-discipline report shape: direct
+// findings carry the single access frame, interprocedural findings the
+// caller→access chain, and annotation errors no chain at all.
+func TestJSONGoldenLockCheck(t *testing.T) {
+	_, out, _ := run(t, "-json", "-rules", "lockcheck", filepath.Join(fixtureDir, "lockcheck_bad"))
+	golden := filepath.Join("testdata", "lockcheck_bad.json")
+	checkGolden(t, out, golden,
+		"go run ./cmd/dhllint -json -rules lockcheck "+filepath.Join(fixtureDir, "lockcheck_bad")+" > "+golden)
+	var r report
+	if err := json.Unmarshal([]byte(out), &r); err != nil {
+		t.Fatal(err)
+	}
+	interprocedural := 0
+	for _, d := range r.Diagnostics {
+		if len(d.Chain) > 1 {
+			interprocedural++
+		}
+	}
+	if interprocedural == 0 {
+		t.Errorf("expected at least one multi-frame lockcheck chain: %+v", r.Diagnostics)
+	}
+}
+
+// TestJSONGoldenLockOrder locks the cycle report shape: every cycle
+// carries one witness frame per edge in its chain.
+func TestJSONGoldenLockOrder(t *testing.T) {
+	_, out, _ := run(t, "-json", "-rules", "lockorder", filepath.Join(fixtureDir, "lockorder_bad"))
+	golden := filepath.Join("testdata", "lockorder_bad.json")
+	checkGolden(t, out, golden,
+		"go run ./cmd/dhllint -json -rules lockorder "+filepath.Join(fixtureDir, "lockorder_bad")+" > "+golden)
+	var r report
+	if err := json.Unmarshal([]byte(out), &r); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range r.Diagnostics {
+		if len(d.Chain) < 2 {
+			t.Errorf("lockorder cycle at %s:%d has %d witness frames, want >= 2", d.File, d.Line, len(d.Chain))
+		}
+	}
+}
+
+// TestJSONGoldenGoEscape locks the escape report shape, including the
+// call-graph-propagated finding's method→touch chain.
+func TestJSONGoldenGoEscape(t *testing.T) {
+	_, out, _ := run(t, "-json", "-rules", "goescape", filepath.Join(fixtureDir, "goescape_bad"))
+	golden := filepath.Join("testdata", "goescape_bad.json")
+	checkGolden(t, out, golden,
+		"go run ./cmd/dhllint -json -rules goescape "+filepath.Join(fixtureDir, "goescape_bad")+" > "+golden)
+	var r report
+	if err := json.Unmarshal([]byte(out), &r); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range r.Diagnostics {
+		if len(d.Chain) == 0 {
+			t.Errorf("goescape diagnostic at %s:%d has no chain", d.File, d.Line)
+		}
+	}
+}
+
+// TestSARIFGolden locks the SARIF 2.1.0 log byte for byte: nothing in it
+// is host-dependent, so the comparison is exact. The log must parse, name
+// every rule in the driver, and gate the exit code like every other mode.
+func TestSARIFGolden(t *testing.T) {
+	code, out, _ := run(t, "-sarif", "-rules", "lockcheck", filepath.Join(fixtureDir, "lockcheck_bad"))
+	if code != 1 {
+		t.Errorf("-sarif with findings exited %d, want 1", code)
+	}
+	golden := filepath.Join("testdata", "lockcheck_bad.sarif")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with: go run ./cmd/dhllint -sarif -rules lockcheck %s > %s)",
+			err, filepath.Join(fixtureDir, "lockcheck_bad"), golden)
+	}
+	if out != string(want) {
+		t.Errorf("SARIF log drifted from %s.\ngot:\n%s\nwant:\n%s", golden, out, want)
+	}
+	var log sarifLog
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("SARIF log is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected log shape: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "dhllint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if got, want := len(run.Tool.Driver.Rules), 13; got != want {
+		t.Errorf("driver lists %d rules, want %d", got, want)
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("no results in the SARIF log")
+	}
+	for _, res := range run.Results {
+		if res.RuleID != "lockcheck" {
+			t.Errorf("unexpected ruleId %q", res.RuleID)
+		}
+		if run.Tool.Driver.Rules[res.RuleIndex].ID != res.RuleID {
+			t.Errorf("ruleIndex %d does not point at %q", res.RuleIndex, res.RuleID)
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.Region.StartLine < 1 || loc.ArtifactLocation.URI == "" {
+			t.Errorf("result missing location: %+v", res)
+		}
+	}
+}
+
+func TestSARIFCleanAndFlagExclusion(t *testing.T) {
+	code, _, _ := run(t, "-sarif", "-rules", "floateq", filepath.Join(fixtureDir, "floateq_clean"))
+	if code != 0 {
+		t.Errorf("-sarif clean exited %d, want 0", code)
+	}
+	code, _, stderr := run(t, "-json", "-sarif", ".")
+	if code != 2 || !strings.Contains(stderr, "mutually exclusive") {
+		t.Errorf("-json -sarif: exit %d, stderr %q; want 2 and a mention", code, stderr)
 	}
 }
 

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"repro/internal/lint"
+)
+
+// SARIF 2.1.0 output (-sarif) lets findings annotate pull requests via
+// GitHub code scanning. The log is deterministic: the driver lists every
+// rule in lint.Rules() order, and results follow the engine's sorted
+// diagnostic order. Interprocedural chains ride along as indented
+// continuation lines of the message text, and file URIs are
+// module-root-relative under the standard %SRCROOT% base.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// sarifReport renders sorted diagnostics (files already module-relative)
+// as one SARIF run.
+func sarifReport(diags []lint.Diagnostic) sarifLog {
+	rules := lint.Rules()
+	ruleIndex := make(map[string]int, len(rules))
+	driver := sarifDriver{Name: "dhllint"}
+	for i, r := range rules {
+		ruleIndex[r.Name] = i
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               r.Name,
+			ShortDescription: sarifMessage{Text: r.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		text := d.Message
+		for _, frame := range d.Chain {
+			text += "\n  " + frame
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Rule,
+			RuleIndex: ruleIndex[d.Rule],
+			Level:     "warning",
+			Message:   sarifMessage{Text: text},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       d.File,
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	return sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCallGraphEdgeCases pins the substrate the interprocedural passes
+// stand on: which call shapes produce edges, and which documented
+// limitations deliberately do not. Future analyzers inherit exactly this
+// behaviour.
+func TestCallGraphEdgeCases(t *testing.T) {
+	cfg := fixtureConfig(t)
+	pkg, err := loader(t).Load(fixtureBase + "callgraph_edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := buildCallGraph(&cfg, []*Package{pkg})
+
+	edges := map[string][]string{}
+	for _, n := range g.order {
+		var out []string
+		for _, e := range n.calls {
+			out = append(out, g.shortName(e.callee))
+		}
+		edges[g.shortName(n.fn)] = out
+	}
+
+	const p = "internal/lint/testdata/src/callgraph_edges."
+	tests := []struct {
+		name   string
+		caller string
+		want   []string
+	}{
+		{
+			// f := t.M; f() — the selector's Uses entry yields the edge
+			// even though the call itself goes through a variable.
+			name:   "method-value binding",
+			caller: p + "MethodValue",
+			want:   []string{p + "T.M"},
+		},
+		{
+			name:   "deferred call",
+			caller: p + "DeferredCall",
+			want:   []string{p + "Leaf"},
+		},
+		{
+			// The reference sits two closure literals deep; the edge is
+			// attributed to the enclosing declaration.
+			name:   "nested closures",
+			caller: p + "NestedClosures",
+			want:   []string{p + "Leaf"},
+		},
+		{
+			// Documented limitation: resolution stops at the interface
+			// method object — never an edge to impl.Do.
+			name:   "interface call stops at the interface",
+			caller: p + "ThroughInterface",
+			want:   []string{p + "Iface.Do"},
+		},
+		{
+			// Documented limitation: a call through a function-value
+			// parameter resolves to nothing.
+			name:   "function-value call has no edge",
+			caller: p + "FuncValueParam",
+			want:   nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, present := edges[tt.caller]
+			if !present {
+				t.Fatalf("no node for %s; have %v", tt.caller, sortedCallers(edges))
+			}
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("edges of %s = %v, want %v", tt.caller, got, tt.want)
+			}
+		})
+	}
+
+	// The interface implementation must exist as its own node (it is a
+	// declared function), just never be a callee of the interface call.
+	if _, ok := edges[p+"impl.Do"]; !ok {
+		t.Errorf("impl.Do should still be a node in its own right")
+	}
+	for caller, callees := range edges {
+		for _, c := range callees {
+			if c == p+"impl.Do" {
+				t.Errorf("unexpected edge %s -> impl.Do: interface calls must not resolve to implementations", caller)
+			}
+		}
+	}
+}
+
+func sortedCallers(edges map[string][]string) []string {
+	out := make([]string, 0, len(edges))
+	for k := range edges {
+		out = append(out, k)
+	}
+	return out
+}

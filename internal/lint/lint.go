@@ -24,7 +24,17 @@
 //   - allocflow: the interprocedural allocation guard — functions annotated
 //     //dhllint:hotpath must be allocation-free, transitively over the same
 //     module call graph purity uses, with every violation reported as the
-//     shortest chain from the hot root to the allocation site.
+//     shortest chain from the hot root to the allocation site;
+//   - lockcheck: fields annotated //dhllint:guardedby <mutexField> are only
+//     accessed while that instance's mutex is held, with "caller must hold"
+//     summaries propagated interprocedurally so helpers are verified through
+//     their callers;
+//   - lockorder: the lock-acquisition-order graph over type-level mutex
+//     identities is acyclic — any cycle is a potential deadlock, reported
+//     with the conflicting acquisition chains;
+//   - goescape: no non-thread-safe value (maps, *rand.Rand, the simulation
+//     engine, telemetry slabs, storage arrays) is captured by a spawned
+//     goroutine or sweep task while still reachable from the spawning one.
 //
 // False positives are silenced in place with a justified escape hatch:
 //
@@ -166,6 +176,9 @@ func Rules() []RuleDoc {
 	out = append(out,
 		RuleDoc{"purity", "no transitive path from model code to ambient state (call-graph pass)"},
 		RuleDoc{"allocflow", "no allocation reachable from //dhllint:hotpath functions (call-graph pass)"},
+		RuleDoc{"lockcheck", "//dhllint:guardedby fields accessed only under their mutex (call-graph pass)"},
+		RuleDoc{"lockorder", "no lock-acquisition-order cycles (call-graph pass)"},
+		RuleDoc{"goescape", "no non-thread-safe values escaping into goroutines (call-graph pass)"},
 		RuleDoc{"unusedallow", "no //dhllint:allow comment that suppresses nothing"},
 		RuleDoc{"allow", "every //dhllint:allow carries a -- justification"},
 	)
@@ -268,17 +281,32 @@ func RunWithLoader(cfg Config, ld *Loader, importPaths []string) ([]Diagnostic, 
 		out = append(out, ds...)
 	}
 
-	// Module-level passes run after the pool: purity and allocflow need
-	// the whole call graph (built once, shared — each pass keeps its own
-	// traversal state), and unusedallow must observe every used-mark,
-	// including those made by the graph passes themselves.
-	if cfg.ruleEnabled("purity") || cfg.ruleEnabled("allocflow") {
+	// Module-level passes run after the pool: purity, allocflow, and the
+	// concurrency trio need the whole call graph (built once, shared —
+	// each pass keeps its own traversal state), and unusedallow must
+	// observe every used-mark, including those made by the graph passes
+	// themselves.
+	needGraph := cfg.ruleEnabled("purity") || cfg.ruleEnabled("allocflow") ||
+		cfg.ruleEnabled("lockcheck") || cfg.ruleEnabled("lockorder") || cfg.ruleEnabled("goescape")
+	if needGraph {
 		graph := buildCallGraph(&cfg, pkgs)
 		if cfg.ruleEnabled("purity") {
 			out = append(out, runPurity(&cfg, graph, allows)...)
 		}
 		if cfg.ruleEnabled("allocflow") {
 			out = append(out, runAllocFlow(&cfg, graph, allows)...)
+		}
+		if cfg.ruleEnabled("lockcheck") || cfg.ruleEnabled("lockorder") {
+			lf := buildLockFacts(graph, pkgs)
+			if cfg.ruleEnabled("lockcheck") {
+				out = append(out, runLockCheck(&cfg, graph, lf, allows)...)
+			}
+			if cfg.ruleEnabled("lockorder") {
+				out = append(out, runLockOrder(&cfg, graph, lf, allows)...)
+			}
+		}
+		if cfg.ruleEnabled("goescape") {
+			out = append(out, runGoEscape(&cfg, graph, allows)...)
 		}
 	}
 	out = append(out, unusedAllowFindings(&cfg, allows)...)

@@ -143,6 +143,8 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 				{"goroutine", 12}, // go outside sweep
 				{"goroutine", 13}, // WaitGroup.Add inside closure
 				{"goroutine", 23}, // plain go outside sweep
+				{"goroutine", 31}, // Add inside closure behind f := func(){...}; go f()
+				{"goroutine", 35}, // go through the binding, outside sweep
 			},
 		},
 		{
@@ -150,7 +152,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			mutate: func(c *Config) {
 				c.GoroutineAllowed = append(c.GoroutineAllowed, fixtureBase+"goroutine_bad")
 			},
-			want: []diagKey{{"goroutine", 13}},
+			want: []diagKey{{"goroutine", 13}, {"goroutine", 31}},
 		},
 		{
 			name: "goroutine clean pool in allowed package", fixture: "goroutine_clean",
@@ -375,6 +377,182 @@ func TestAllocFlowAllowHatch(t *testing.T) {
 	}
 }
 
+// TestLockCheckChains is the lock-discipline acceptance case: a direct
+// unguarded access, a helper verified only through its callers (reported
+// at the undischarged call site with the chain down to the access), an
+// RWMutex mode violation, and a malformed annotation.
+func TestLockCheckChains(t *testing.T) {
+	cfg := fixtureConfig(t)
+	cfg.Enabled = map[string]bool{"lockcheck": true}
+	diags, err := RunWithLoader(cfg, loader(t), []string{
+		fixtureBase + "lockcheck_bad", fixtureBase + "lockcheck_clean",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []diagKey{
+		{"lockcheck", 18}, // Bump: direct write without mu
+		{"lockcheck", 37}, // BumpUnlocked → bump: undischarged caller-must-hold
+		{"lockcheck", 58}, // Put: write under RLock only
+		{"lockcheck", 65}, // Wrong: guardedby names a non-mutex field
+	}
+	if !sameKeys(keysOf(diags), want) {
+		t.Fatalf("diagnostics = %v, want %v\nfull: %v", keysOf(diags), want, diags)
+	}
+	direct := diags[0]
+	if !strings.Contains(direct.Message, "guardedby mu") || !strings.Contains(direct.Message, "accessed (write)") {
+		t.Errorf("direct finding misses the annotation context: %q", direct.Message)
+	}
+	if len(direct.Chain) != 1 {
+		t.Errorf("direct finding Chain = %v, want the single access frame", direct.Chain)
+	}
+	inter := diags[1]
+	if !strings.Contains(inter.Message, "no caller on this path holds it") {
+		t.Errorf("interprocedural finding misses the summary phrasing: %q", inter.Message)
+	}
+	if len(inter.Chain) != 2 {
+		t.Fatalf("interprocedural Chain = %v, want 2 frames (bump, access)", inter.Chain)
+	}
+	for i, frag := range []string{"bump", "Counter.count write access"} {
+		if !strings.Contains(inter.Chain[i], frag) {
+			t.Errorf("Chain[%d] = %q, want it to mention %q", i, inter.Chain[i], frag)
+		}
+	}
+	if !strings.Contains(diags[2].Message, "accessed (write)") {
+		t.Errorf("mode violation should be a write finding: %q", diags[2].Message)
+	}
+	if !strings.Contains(diags[3].Message, "not a sync.Mutex or sync.RWMutex field") {
+		t.Errorf("annotation error misses its phrasing: %q", diags[3].Message)
+	}
+}
+
+func TestLockCheckAllowHatch(t *testing.T) {
+	cfg := fixtureConfig(t)
+	cfg.Enabled = map[string]bool{"lockcheck": true, "allow": true, "unusedallow": true}
+	diags, err := RunWithLoader(cfg, loader(t), []string{fixtureBase + "lockcheck_allow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []diagKey{
+		{"unusedallow", 40}, // Stale's allow suppresses nothing
+	}
+	if !sameKeys(keysOf(diags), want) {
+		t.Errorf("diagnostics = %v, want %v\nfull: %v", keysOf(diags), want, diags)
+	}
+}
+
+// TestLockOrderCycles pins both deadlock shapes: the direct AB/BA
+// inversion between sibling methods, and the inversion visible only when
+// a call edge is expanded into the locks the callee may acquire.
+func TestLockOrderCycles(t *testing.T) {
+	cfg := fixtureConfig(t)
+	cfg.Enabled = map[string]bool{"lockorder": true}
+	diags, err := RunWithLoader(cfg, loader(t), []string{
+		fixtureBase + "lockorder_bad", fixtureBase + "lockorder_clean",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []diagKey{
+		{"lockorder", 18}, // pair.a → pair.b → pair.a, anchored at AB's second Lock
+		{"lockorder", 48}, // qr.q → qr.r → qr.q, anchored at Q's call into lockR
+	}
+	if !sameKeys(keysOf(diags), want) {
+		t.Fatalf("diagnostics = %v, want %v\nfull: %v", keysOf(diags), want, diags)
+	}
+	direct := diags[0]
+	if !strings.Contains(direct.Message, "potential deadlock") {
+		t.Errorf("cycle finding misses the deadlock phrasing: %q", direct.Message)
+	}
+	for _, frag := range []string{"pair.AB acquires", "pair.BA acquires"} {
+		if !strings.Contains(direct.Message, frag) {
+			t.Errorf("cycle message misses the witness %q: %q", frag, direct.Message)
+		}
+	}
+	if len(direct.Chain) != 2 {
+		t.Errorf("direct cycle Chain = %v, want one witness per edge", direct.Chain)
+	}
+	transitive := diags[1]
+	if !strings.Contains(transitive.Message, "qr.Q calls") {
+		t.Errorf("transitive cycle should witness the call edge: %q", transitive.Message)
+	}
+	if len(transitive.Chain) != 3 {
+		t.Errorf("transitive Chain = %v, want call frame + Lock frame + reverse edge", transitive.Chain)
+	}
+}
+
+func TestLockOrderAllowHatch(t *testing.T) {
+	cfg := fixtureConfig(t)
+	cfg.Enabled = map[string]bool{"lockorder": true, "allow": true, "unusedallow": true}
+	diags, err := RunWithLoader(cfg, loader(t), []string{fixtureBase + "lockorder_allow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []diagKey{
+		{"unusedallow", 34}, // Stale's allow suppresses nothing
+	}
+	if !sameKeys(keysOf(diags), want) {
+		t.Errorf("diagnostics = %v, want %v\nfull: %v", keysOf(diags), want, diags)
+	}
+}
+
+// TestGoEscapeFindings pins the four sharing shapes: a *rand.Rand
+// capture, a concurrently written map, a map shared across sweep
+// workers, and an escape visible only through a method call propagated
+// over the call graph.
+func TestGoEscapeFindings(t *testing.T) {
+	cfg := fixtureConfig(t)
+	cfg.Enabled = map[string]bool{"goescape": true}
+	diags, err := RunWithLoader(cfg, loader(t), []string{
+		fixtureBase + "goescape_bad", fixtureBase + "goescape_clean",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []diagKey{
+		{"goescape", 19}, // Draw: *rand.Rand captured and still drawn from
+		{"goescape", 29}, // Count: map written inside the goroutine
+		{"goescape", 42}, // Tally: map shared across sweep workers
+		{"goescape", 62}, // Observe: *sim.Engine reached through h.now()
+	}
+	if !sameKeys(keysOf(diags), want) {
+		t.Fatalf("diagnostics = %v, want %v\nfull: %v", keysOf(diags), want, diags)
+	}
+	if !strings.Contains(diags[0].Message, "*rand.Rand") {
+		t.Errorf("rand capture misses the type: %q", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "(map)") {
+		t.Errorf("map capture misses the type: %q", diags[1].Message)
+	}
+	if !strings.Contains(diags[2].Message, "sweep task") || !strings.Contains(diags[2].Message, "concurrent workers") {
+		t.Errorf("sweep share misses the pool phrasing: %q", diags[2].Message)
+	}
+	chain := diags[3]
+	if len(chain.Chain) != 2 {
+		t.Fatalf("propagated Chain = %v, want 2 frames (host.now, engine touch)", chain.Chain)
+	}
+	for i, frag := range []string{"host.now", "*sim.Engine.Now"} {
+		if !strings.Contains(chain.Chain[i], frag) {
+			t.Errorf("Chain[%d] = %q, want it to mention %q", i, chain.Chain[i], frag)
+		}
+	}
+}
+
+func TestGoEscapeAllowHatch(t *testing.T) {
+	cfg := fixtureConfig(t)
+	cfg.Enabled = map[string]bool{"goescape": true, "allow": true, "unusedallow": true}
+	diags, err := RunWithLoader(cfg, loader(t), []string{fixtureBase + "goescape_allow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []diagKey{
+		{"unusedallow", 20}, // Stale's allow suppresses nothing
+	}
+	if !sameKeys(keysOf(diags), want) {
+		t.Errorf("diagnostics = %v, want %v\nfull: %v", keysOf(diags), want, diags)
+	}
+}
+
 func TestCallGraphDump(t *testing.T) {
 	cfg := fixtureConfig(t)
 	var pkgs []*Package
@@ -409,6 +587,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 		fixtureBase + "dimflow_bad", fixtureBase + "floateq_bad", fixtureBase + "goroutine_bad",
 		fixtureBase + "purity_helpers", fixtureBase + "purity_bad", fixtureBase + "unusedallow_bad",
 		fixtureBase + "allocflow_bad", fixtureBase + "allocflow_allow",
+		fixtureBase + "lockcheck_bad", fixtureBase + "lockorder_bad", fixtureBase + "goescape_bad",
 	}
 	cfg := fixtureConfig(t)
 	cfg.Workers = 1

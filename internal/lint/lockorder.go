@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// The lockorder pass hunts deadlocks by construction: it builds a
+// deterministic lock-acquisition-order graph and reports every cycle.
+//
+// Nodes are type-level mutex identities — receiver type plus field path
+// (controlplane.Server.connMu), or package-qualified name for plain
+// mutex variables — so two instances of one struct map to the same node:
+// if goroutine 1 locks a.mu then b.mu while goroutine 2 locks b.mu then
+// a.mu, both instances collapse onto one self-inconsistent identity pair.
+//
+// Edges come from two places, both derived from the lockset walk the
+// lockcheck pass performs:
+//
+//   - direct: a Lock/RLock executed while other locks are held adds one
+//     edge from every held lock to the new one;
+//   - transitive: a call made while locks are held adds edges from every
+//     held lock to every lock the callee may acquire, where "may
+//     acquire" is the fixed point of direct acquisitions over the module
+//     call graph.
+//
+// Every edge keeps its first witness — the function, position, and (for
+// transitive edges) the call chain down to the actual Lock — so a cycle
+// is reported with the conflicting acquisition chains, one per edge, in
+// the message and the JSON chain field. Cycles are canonicalised
+// (rotated to their smallest identity) and reported once, anchored at
+// the first edge's witness position, where a //dhllint:allow lockorder
+// can silence a justified exception.
+
+// loEdge is one acquisition-order edge with its first witness.
+type loEdge struct {
+	from, to string
+	chain    []string // witness frames, outermost first, the Lock last
+	pos      token.Pos
+	pkg      *Package
+}
+
+// acqVia records how a function comes to acquire a lock identity: nil
+// callee means a direct Lock at lockPos; otherwise the acquisition is
+// inherited from callee through the call at callPos.
+type acqVia struct {
+	callee  *cgNode
+	callPos token.Pos
+	lockPos token.Pos
+	read    bool
+}
+
+// runLockOrder builds the acquisition-order graph from the lockset facts
+// and reports every cycle.
+func runLockOrder(cfg *Config, g *CallGraph, lf *lockFacts, allows *allowIndex) []Diagnostic {
+	// Transitive may-acquire sets: direct Locks seed, call edges
+	// propagate to a fixed point. Deterministic: nodes in graph order,
+	// callee sets merged in sorted identity order, first via kept.
+	acquires := make(map[*cgNode]map[string]acqVia)
+	for _, n := range g.order {
+		set := make(map[string]acqVia)
+		for _, a := range lf.perFn[n].acquires {
+			id := g.lockID(a.key)
+			if _, ok := set[id]; !ok {
+				set[id] = acqVia{lockPos: a.pos, read: a.read}
+			}
+		}
+		acquires[n] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.order {
+			for _, e := range n.calls {
+				callee := g.nodes[e.callee]
+				if callee == nil {
+					continue
+				}
+				for _, id := range sortedKeys(acquires[callee]) {
+					if _, ok := acquires[n][id]; !ok {
+						acquires[n][id] = acqVia{callee: callee, callPos: e.pos}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Edge set, first witness wins. Construction order is deterministic:
+	// graph order, then event/site order, then sorted identities.
+	edges := make(map[[2]string]*loEdge)
+	var edgeOrder [][2]string
+	addEdge := func(from, to string, chain []string, pos token.Pos, pkg *Package) {
+		if from == to {
+			return
+		}
+		k := [2]string{from, to}
+		if _, ok := edges[k]; ok {
+			return
+		}
+		edges[k] = &loEdge{from: from, to: to, chain: chain, pos: pos, pkg: pkg}
+		edgeOrder = append(edgeOrder, k)
+	}
+
+	for _, n := range g.order {
+		facts := lf.perFn[n]
+		for _, a := range facts.acquires {
+			newID := g.lockID(a.key)
+			for _, h := range a.held {
+				heldID := g.lockID(h)
+				addEdge(heldID, newID, []string{fmt.Sprintf(
+					"%s acquires %s while holding %s (%s)",
+					g.shortName(n.fn), newID, heldID, g.relPos(a.pos))},
+					a.pos, n.pkg)
+			}
+		}
+		for i := range facts.calls {
+			cs := &facts.calls[i]
+			if len(cs.held) == 0 {
+				continue
+			}
+			callee := g.nodes[cs.callee]
+			if callee == nil {
+				continue
+			}
+			heldIDs := make([]string, 0, len(cs.held))
+			for k := range cs.held {
+				heldIDs = append(heldIDs, g.lockID(k))
+			}
+			sort.Strings(heldIDs)
+			for _, id := range sortedKeys(acquires[callee]) {
+				for _, heldID := range heldIDs {
+					chain := append([]string{fmt.Sprintf(
+						"%s calls %s while holding %s (%s)",
+						g.shortName(n.fn), g.shortName(cs.callee), heldID, g.relPos(cs.pos))},
+						g.acquireChain(callee, id, acquires)...)
+					addEdge(heldID, id, chain, cs.pos, n.pkg)
+				}
+			}
+		}
+	}
+
+	// Cycle detection: DFS over sorted adjacency; every back edge yields
+	// one cycle, canonicalised by rotating its smallest identity first.
+	adj := make(map[string][]string)
+	var nodeIDs []string
+	seen := map[string]bool{}
+	for _, k := range edgeOrder {
+		adj[k[0]] = append(adj[k[0]], k[1])
+		for _, id := range []string{k[0], k[1]} {
+			if !seen[id] {
+				seen[id] = true
+				nodeIDs = append(nodeIDs, id)
+			}
+		}
+	}
+	sort.Strings(nodeIDs)
+	for _, vs := range adj {
+		sort.Strings(vs)
+	}
+
+	state := make(map[string]int) // 0 new, 1 on stack, 2 done
+	var stack []string
+	var cycles [][]string
+	cycleSeen := map[string]bool{}
+	var dfs func(u string)
+	dfs = func(u string) {
+		state[u] = 1
+		stack = append(stack, u)
+		for _, v := range adj[u] {
+			switch state[v] {
+			case 0:
+				dfs(v)
+			case 1:
+				// Extract stack[v..u] as one cycle.
+				start := len(stack) - 1
+				for start >= 0 && stack[start] != v {
+					start--
+				}
+				cyc := canonicalCycle(stack[start:])
+				key := strings.Join(cyc, "→")
+				if !cycleSeen[key] {
+					cycleSeen[key] = true
+					cycles = append(cycles, cyc)
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[u] = 2
+	}
+	for _, id := range nodeIDs {
+		if state[id] == 0 {
+			dfs(id)
+		}
+	}
+
+	var out []Diagnostic
+	for _, cyc := range cycles {
+		var chain []string
+		var summaries []string
+		var first *loEdge
+		for i := range cyc {
+			from, to := cyc[i], cyc[(i+1)%len(cyc)]
+			e := edges[[2]string{from, to}]
+			if e == nil {
+				continue
+			}
+			if first == nil {
+				first = e
+			}
+			chain = append(chain, e.chain...)
+			summaries = append(summaries, e.chain[0])
+		}
+		if first == nil {
+			continue
+		}
+		pass := &Pass{Cfg: cfg, Pkg: first.pkg, rule: "lockorder", allows: allows, out: &out}
+		pass.reportChain(first.pos, chain,
+			"lock acquisition cycle %s → %s (potential deadlock): %s",
+			strings.Join(cyc, " → "), cyc[0], strings.Join(summaries, "; "))
+	}
+	return out
+}
+
+// acquireChain renders how node came to acquire id: the call chain from
+// node down to the function holding the direct Lock.
+func (g *CallGraph) acquireChain(n *cgNode, id string, acquires map[*cgNode]map[string]acqVia) []string {
+	var chain []string
+	for hop := n; hop != nil; {
+		via, ok := acquires[hop][id]
+		if !ok {
+			break
+		}
+		if via.callee == nil {
+			op := "Lock"
+			if via.read {
+				op = "RLock"
+			}
+			chain = append(chain, fmt.Sprintf("%s %ss %s (%s)",
+				g.shortName(hop.fn), op, id, g.relPos(via.lockPos)))
+			break
+		}
+		chain = append(chain, fmt.Sprintf("%s (%s)", g.shortName(hop.fn), g.relPos(via.callPos)))
+		hop = via.callee
+	}
+	return chain
+}
+
+// canonicalCycle rotates a cycle so its lexicographically smallest
+// identity comes first.
+func canonicalCycle(cyc []string) []string {
+	out := append([]string(nil), cyc...)
+	min := 0
+	for i := range out {
+		if out[i] < out[min] {
+			min = i
+		}
+	}
+	return append(out[min:], out[:min]...)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

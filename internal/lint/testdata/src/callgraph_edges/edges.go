@@ -1,0 +1,58 @@
+// Package callgraphedges is a lint fixture for the call-graph substrate
+// itself: the shapes that must produce edges (method-value bindings,
+// deferred calls, nested closures) and the documented limitations that
+// must not (calls through interfaces stop at the interface method; calls
+// through function values resolve to nothing).
+package callgraphedges
+
+// Leaf is a plain callee.
+func Leaf() int { return 1 }
+
+// T carries a method callee.
+type T struct{ n int }
+
+// M is the method the bindings below reference.
+func (t *T) M() int { return t.n }
+
+// MethodValue binds t.M to a variable: the selector's Uses entry still
+// yields an edge, recorded at the binding site.
+func MethodValue(t *T) int {
+	f := t.M
+	return f()
+}
+
+// DeferredCall defers a module call: still an edge.
+func DeferredCall() {
+	defer Leaf()
+}
+
+// NestedClosures reference a module function two literals deep: the
+// edge is attributed to the enclosing declaration.
+func NestedClosures() func() func() int {
+	return func() func() int {
+		return func() int {
+			return Leaf()
+		}
+	}
+}
+
+// Iface is the interface the limitation cases call through.
+type Iface interface{ Do() int }
+
+// impl implements Iface; no edge may ever point at it from
+// ThroughInterface.
+type impl struct{}
+
+// Do satisfies Iface.
+func (impl) Do() int { return 2 }
+
+// ThroughInterface calls through the interface: resolution stops at the
+// interface method — no edge to any implementation.
+func ThroughInterface(i Iface) int {
+	return i.Do()
+}
+
+// FuncValueParam calls a passed function value: no edge at all.
+func FuncValueParam(f func() int) int {
+	return f()
+}

@@ -1,0 +1,22 @@
+// Package goescapeallow is a lint fixture for the escape hatch on the
+// goescape rule: a deliberate, justified share silenced at the go
+// statement, plus a stale allow for unusedallow to find.
+package goescapeallow
+
+import "math/rand"
+
+// Sample shares rng with the goroutine on purpose; the allow records
+// why the race is acceptable here.
+func Sample(rng *rand.Rand, out chan<- float64) float64 {
+	//dhllint:allow goescape -- fixture: both draws happen before the channel send is observed, sequenced by the test harness
+	go func() {
+		out <- rng.Float64()
+	}()
+	return rng.Float64()
+}
+
+// Stale carries an allow that suppresses nothing.
+func Stale(x int) int {
+	//dhllint:allow goescape -- fixture: nothing escapes on this line
+	return x
+}

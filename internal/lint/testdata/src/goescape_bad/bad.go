@@ -1,0 +1,66 @@
+// Package goescapebad is a lint fixture: non-thread-safe values shared
+// between the spawning goroutine and a spawned one — a *rand.Rand
+// capture, a map written concurrently, a sweep task sharing a map
+// across workers, and an escape visible only through a method call on
+// the call graph.
+package goescapebad
+
+import (
+	"context"
+	"math/rand"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// Draw shares a *rand.Rand with the goroutine while still drawing from
+// it on the spawning side: every draw mutates the source.
+func Draw(rng *rand.Rand) float64 {
+	go func() {
+		_ = rng.Float64()
+	}()
+	return rng.Float64()
+}
+
+// Count writes a shared map from the goroutine while the caller reads
+// it: unsynchronised map writes corrupt.
+func Count(events []string) map[string]int {
+	counts := make(map[string]int)
+	go func() {
+		for _, e := range events {
+			counts[e]++
+		}
+	}()
+	return counts
+}
+
+// Tally shares a map across sweep workers: the parallel task
+// invocations alone make the capture racy, regardless of what the
+// spawning goroutine does afterwards.
+func Tally(ctx context.Context, keys []string) error {
+	seen := make(map[string]bool)
+	_, err := sweep.Map(ctx, keys, func(_ context.Context, k string) (int, error) {
+		seen[k] = true
+		return 0, nil
+	})
+	return err
+}
+
+// host wraps the single-threaded simulation engine.
+type host struct {
+	eng *sim.Engine
+}
+
+// now reaches the engine: the unsafe touch the call graph propagates.
+func (h *host) now() float64 {
+	return float64(h.eng.Now())
+}
+
+// Observe calls a method on the captured host that transitively reaches
+// *sim.Engine while the spawning goroutine still queries it.
+func Observe(h *host) float64 {
+	go func() {
+		_ = h.now()
+	}()
+	return h.now()
+}

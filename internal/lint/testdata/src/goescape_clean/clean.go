@@ -1,0 +1,36 @@
+// Package goescapeclean is a lint fixture: the sanctioned concurrency
+// idioms — ownership handoff into the goroutine, read-only map sharing,
+// and thread-safe captures — that must produce no goescape diagnostics.
+package goescapeclean
+
+import (
+	"math/rand"
+	"sync/atomic"
+)
+
+// Handoff transfers ownership: the spawning function never touches rng
+// after the go statement, so the capture is a clean handoff.
+func Handoff(seed int64, done chan<- float64) {
+	rng := rand.New(rand.NewSource(seed))
+	go func() {
+		done <- rng.Float64()
+	}()
+}
+
+// ReadShared only reads the captured map on both sides: concurrent map
+// reads are legal.
+func ReadShared(m map[string]int, out chan<- int) int {
+	go func() {
+		out <- m["a"]
+	}()
+	return m["b"]
+}
+
+// Atomic shares a counter built for concurrency.
+func Atomic(n *atomic.Int64, done chan<- struct{}) int64 {
+	go func() {
+		n.Add(1)
+		close(done)
+	}()
+	return n.Load()
+}

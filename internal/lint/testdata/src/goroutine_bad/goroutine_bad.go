@@ -22,3 +22,16 @@ func FanOut(jobs []func()) {
 func Background(f func()) {
 	go f()
 }
+
+// Deferred spawns through a single-assignment function-value binding:
+// the Add race must still be visible behind the indirection.
+func Deferred(job func()) {
+	var wg sync.WaitGroup
+	f := func() {
+		wg.Add(1)
+		defer wg.Done()
+		job()
+	}
+	go f()
+	wg.Wait()
+}

@@ -1,0 +1,42 @@
+// Package lockcheckallow is a lint fixture for the escape hatch on the
+// lockcheck rule: a lock-free atomic needing no guard at all, a
+// justified in-place allow on a write-once field, and a stale allow
+// that suppresses nothing — which unusedallow must report.
+package lockcheckallow
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Gauge pairs a guarded field with an atomic one: the atomic counter
+// needs no mutex, so it simply carries no annotation.
+type Gauge struct {
+	mu sync.Mutex
+	//dhllint:guardedby mu
+	name string
+	hits atomic.Int64
+}
+
+// Hit is lock-free on the atomic: no annotation, no finding.
+func (g *Gauge) Hit() { g.hits.Add(1) }
+
+// Peek reads name without the lock, justified in place: the seed is
+// consumed before it can propagate to callers.
+func (g *Gauge) Peek() string {
+	//dhllint:allow lockcheck -- fixture: name is written once before publication and never mutated after
+	return g.name
+}
+
+// Rename mutates name under the lock: clean.
+func (g *Gauge) Rename(n string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.name = n
+}
+
+// Stale carries an allow that suppresses nothing.
+func (g *Gauge) Stale() int {
+	//dhllint:allow lockcheck -- fixture: nothing guarded on this line
+	return 1
+}

@@ -1,0 +1,67 @@
+// Package lockcheckbad is a lint fixture: guarded fields accessed
+// without their mutex — directly, through a helper verified
+// interprocedurally, in the wrong RWMutex mode, and one malformed
+// annotation.
+package lockcheckbad
+
+import "sync"
+
+// Counter guards count with mu.
+type Counter struct {
+	mu sync.Mutex
+	//dhllint:guardedby mu
+	count int
+}
+
+// Bump writes count with no lock at all: the direct finding.
+func (c *Counter) Bump() {
+	c.count++
+}
+
+// bump is the helper: its unguarded access becomes a caller-must-hold
+// summary instead of an immediate finding.
+func (c *Counter) bump() {
+	c.count++
+}
+
+// BumpLocked discharges the requirement: clean.
+func (c *Counter) BumpLocked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump()
+}
+
+// BumpUnlocked fails to discharge it: the interprocedural finding lands
+// at this call site with the chain down to the access.
+func (c *Counter) BumpUnlocked() {
+	c.bump()
+}
+
+// Table guards entries with an RWMutex.
+type Table struct {
+	rw sync.RWMutex
+	//dhllint:guardedby rw
+	entries map[string]int
+}
+
+// Get reads under RLock: clean.
+func (t *Table) Get(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.entries[k]
+}
+
+// Put writes under RLock only: writes need the mutex write-held.
+func (t *Table) Put(k string, v int) {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	t.entries[k] = v
+}
+
+// Wrong names a guard that is not a mutex: the annotation itself is the
+// finding.
+type Wrong struct {
+	n int
+	//dhllint:guardedby n
+	v int
+}

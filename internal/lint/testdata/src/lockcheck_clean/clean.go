@@ -1,0 +1,67 @@
+// Package lockcheckclean is a lint fixture: guarded fields accessed in
+// the sanctioned shapes — defer unlock across early returns, explicit
+// lock/unlock pairs, helpers verified through locked callers, RWMutex
+// reads under RLock — that must produce no lockcheck diagnostics.
+package lockcheckclean
+
+import "sync"
+
+// Box guards val with mu.
+type Box struct {
+	mu sync.Mutex
+	//dhllint:guardedby mu
+	val int
+}
+
+// Set holds the lock across both branches; the early return is covered
+// by the deferred unlock.
+func (b *Box) Set(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if v < 0 {
+		b.val = 0
+		return
+	}
+	b.val = v
+}
+
+// Get uses an explicit lock/unlock pair.
+func (b *Box) Get() int {
+	b.mu.Lock()
+	v := b.val
+	b.mu.Unlock()
+	return v
+}
+
+// addLocked requires the caller to hold mu; every caller does.
+func (b *Box) addLocked(d int) {
+	b.val += d
+}
+
+// Add discharges addLocked's requirement.
+func (b *Box) Add(d int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.addLocked(d)
+}
+
+// RTable guards its map with an RWMutex; reads take RLock.
+type RTable struct {
+	rw sync.RWMutex
+	//dhllint:guardedby rw
+	m map[string]int
+}
+
+// Lookup reads under RLock: read mode suffices for reads.
+func (t *RTable) Lookup(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.m[k]
+}
+
+// Store writes under the write lock.
+func (t *RTable) Store(k string, v int) {
+	t.rw.Lock()
+	defer t.rw.Unlock()
+	t.m[k] = v
+}

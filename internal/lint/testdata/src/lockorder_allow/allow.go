@@ -1,0 +1,37 @@
+// Package lockorderallow is a lint fixture for the escape hatch on the
+// lockorder rule: a known, justified ordering inversion (the reverse
+// path only runs single-threaded) silenced at the edge the cycle report
+// anchors on, plus a stale allow for unusedallow to find.
+package lockorderallow
+
+import "sync"
+
+// pair inverts its acquisition order between Forward and Reverse.
+type pair struct {
+	fwd sync.Mutex
+	rev sync.Mutex
+}
+
+// Forward acquires fwd then rev; the cycle report anchors on this edge.
+func (p *pair) Forward() {
+	p.fwd.Lock()
+	defer p.fwd.Unlock()
+	//dhllint:allow lockorder -- fixture: Reverse only runs during single-threaded shutdown, so the inversion cannot deadlock
+	p.rev.Lock()
+	defer p.rev.Unlock()
+}
+
+// Reverse acquires rev then fwd.
+func (p *pair) Reverse() {
+	p.rev.Lock()
+	defer p.rev.Unlock()
+	p.fwd.Lock()
+	p.fwd.Unlock()
+}
+
+// Stale carries an allow that suppresses nothing.
+func (p *pair) Stale() {
+	//dhllint:allow lockorder -- fixture: no acquisition cycle on this line
+	p.fwd.Lock()
+	p.fwd.Unlock()
+}

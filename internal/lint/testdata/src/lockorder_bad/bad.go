@@ -1,0 +1,57 @@
+// Package lockorderbad is a lint fixture: two lock-acquisition cycles,
+// one between sibling Lock calls and one visible only through a call —
+// the classic AB/BA deadlock in both its direct and transitive shapes.
+package lockorderbad
+
+import "sync"
+
+// pair is two locks acquired in inconsistent order by sibling methods.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// AB acquires a then b.
+func (p *pair) AB() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+}
+
+// BA acquires b then a: the reverse edge closes the cycle.
+func (p *pair) BA() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	defer p.a.Unlock()
+}
+
+// qr cycles transitively: Q holds q across a call that acquires r,
+// while R holds r across a direct acquisition of q.
+type qr struct {
+	q sync.Mutex
+	r sync.Mutex
+}
+
+// lockR acquires r on behalf of its callers.
+func (x *qr) lockR() {
+	x.r.Lock()
+	x.r.Unlock()
+}
+
+// Q holds q across the call that acquires r: the q→r edge is only
+// visible through the call graph.
+func (x *qr) Q() {
+	x.q.Lock()
+	defer x.q.Unlock()
+	x.lockR()
+}
+
+// R acquires q while holding r: the r→q edge.
+func (x *qr) R() {
+	x.r.Lock()
+	defer x.r.Unlock()
+	x.q.Lock()
+	x.q.Unlock()
+}

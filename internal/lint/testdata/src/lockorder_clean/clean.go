@@ -1,0 +1,42 @@
+// Package lockorderclean is a lint fixture: every path acquires the two
+// locks in the same order, so the acquisition graph has one direction
+// and no cycle.
+package lockorderclean
+
+import "sync"
+
+// pair is two locks with a fixed acquisition order: a before b, always.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// First acquires a then b with deferred unlocks.
+func (p *pair) First() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+}
+
+// Second acquires in the same order with explicit pairs.
+func (p *pair) Second() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// lockB acquires b for callers already holding a: same direction, still
+// no cycle once the call edge is expanded.
+func (p *pair) lockB() {
+	p.b.Lock()
+	p.b.Unlock()
+}
+
+// Third takes the a→b edge through the call graph.
+func (p *pair) Third() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.lockB()
+}

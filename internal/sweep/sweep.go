@@ -48,6 +48,35 @@ func resolve(opts []Option) options {
 // ErrNilFunc is returned when Map is given a nil evaluation function.
 var ErrNilFunc = errors.New("sweep: nil evaluation function")
 
+// failure is the first-error slot of one parallel sweep. The out slice is
+// index-partitioned — each worker writes only indices it claimed, so it
+// needs no lock — but the failure slot is the one cell every worker may
+// race on, hence the mutex and the lockcheck annotations.
+type failure struct {
+	mu sync.Mutex
+	//dhllint:guardedby mu
+	idx int
+	//dhllint:guardedby mu
+	err error
+}
+
+// record keeps the error of the lowest-indexed failing item, matching what
+// a sequential loop would surface first.
+func (f *failure) record(i int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err == nil || i < f.idx {
+		f.idx, f.err = i, err
+	}
+}
+
+// get returns the recorded failure, if any.
+func (f *failure) get() (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.idx, f.err
+}
+
 // Map evaluates fn over every item on a bounded worker pool and returns the
 // results in input order: out[i] = fn(ctx, items[i]) regardless of which
 // worker finished first. The pool size defaults to GOMAXPROCS and is capped
@@ -90,18 +119,12 @@ func Map[I, O any](ctx context.Context, items []I, fn func(context.Context, I) (
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
-		next    atomic.Int64
-		mu      sync.Mutex
-		failIdx = -1
-		failErr error
-		wg      sync.WaitGroup
+		next atomic.Int64
+		fl   failure
+		wg   sync.WaitGroup
 	)
 	fail := func(i int, err error) {
-		mu.Lock()
-		if failIdx == -1 || i < failIdx {
-			failIdx, failErr = i, err
-		}
-		mu.Unlock()
+		fl.record(i, err)
 		cancel()
 	}
 	for w := 0; w < workers; w++ {
@@ -123,9 +146,7 @@ func Map[I, O any](ctx context.Context, items []I, fn func(context.Context, I) (
 		}()
 	}
 	wg.Wait()
-	mu.Lock()
-	idx, err := failIdx, failErr
-	mu.Unlock()
+	idx, err := fl.get()
 	if err != nil {
 		return nil, fmt.Errorf("sweep: item %d: %w", idx, err)
 	}

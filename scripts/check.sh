@@ -24,6 +24,12 @@ go build ./...
 echo "== dhllint ./..."
 go run ./cmd/dhllint ./...
 
+# Redundant with the full run above, but a dedicated step means a broken
+# lock-discipline or escape invariant names itself instead of hiding in
+# the aggregate diagnostic list.
+echo "== dhllint concflow gate (lockcheck, lockorder, goescape)"
+go run ./cmd/dhllint -rules lockcheck,lockorder,goescape ./...
+
 # The single-slot SetTracer shim is deprecated; everything outside its home
 # package (the shim itself and its dedicated regression tests) must use
 # AddTracer. Keeps new call sites from re-adopting the legacy API.

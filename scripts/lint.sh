@@ -4,6 +4,7 @@
 # Usage:
 #   scripts/lint.sh            # human-readable file:line:col output
 #   scripts/lint.sh -json      # machine-readable report on stdout
+#   scripts/lint.sh -sarif     # SARIF 2.1.0 log for code scanning
 #   scripts/lint.sh -rules determinism,floateq
 #   scripts/lint.sh -graph     # dump the module call graph
 #
