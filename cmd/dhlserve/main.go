@@ -7,7 +7,11 @@
 // Usage:
 //
 //	dhlserve [-addr 127.0.0.1:7070] [-carts N] [-docks N] [-dual]
-//	         [-pprof ADDR]
+//	         [-pprof ADDR] [-drain 5s] [-max-conns N]
+//	         [-max-queue N] [-admit-rate R] [-per-conn N]
+//
+// SIGINT/SIGTERM drains in-flight exchanges for -drain, then severs the
+// stragglers and logs how many were cut off.
 //
 // Example session (one JSON object per line):
 //
@@ -26,6 +30,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/controlplane"
 	"repro/internal/dhlsys"
@@ -42,6 +48,12 @@ func main() {
 		docks     = flag.Int("docks", 4, "endpoint docking stations")
 		dual      = flag.Bool("dual", false, "dual-rail track")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof profiles on this address (e.g. 127.0.0.1:6060); empty disables")
+
+		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain before severing connections")
+		maxConns  = flag.Int("max-conns", 0, "connection cap (0 off); excess connections get a busy reply")
+		maxQueue  = flag.Int("max-queue", 64, "admission: bounded waiting room behind the simulation")
+		admitRate = flag.Float64("admit-rate", 0, "admission: token-bucket rate limit, req/s (0 off)")
+		perConn   = flag.Int("per-conn", 0, "admission: outstanding-request cap per connection (0 off)")
 	)
 	flag.Parse()
 
@@ -72,7 +84,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := controlplane.NewServer(sys)
+	sopt := controlplane.DefaultServerOptions()
+	sopt.DrainTimeout = *drain
+	sopt.MaxConns = *maxConns
+	sopt.Admission.MaxQueue = *maxQueue
+	sopt.Admission.Rate = *admitRate
+	sopt.Admission.PerConn = *perConn
+	srv, err := controlplane.NewServerWithOptions(sys, sopt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,12 +100,20 @@ func main() {
 	}
 	fmt.Printf("DHL control plane on %s (%d carts, %d docks, %v)\n",
 		bound, opt.NumCarts, opt.DockStations, opt.RailMode)
-	fmt.Println("Send newline-delimited JSON requests; Ctrl-C to stop.")
+	fmt.Println("Send newline-delimited JSON requests; SIGINT/SIGTERM drains and stops.")
 
+	// Graceful shutdown: both Ctrl-C and the SIGTERM a supervisor sends
+	// drain in-flight exchanges for -drain, then sever the stragglers.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("%v: draining for up to %v", got, *drain)
 	if err := srv.Close(); err != nil {
 		log.Fatal(err)
+	}
+	if n := srv.Severed(); n > 0 {
+		log.Printf("drain deadline expired: severed %d connection(s)", n)
+	} else {
+		log.Printf("drained cleanly")
 	}
 }

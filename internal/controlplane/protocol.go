@@ -10,9 +10,18 @@
 // simulation to completion of the operation and reports the simulated
 // timing, so a client sees exactly what a rack's storage-management daemon
 // would.
+//
+// The server is overload-hardened (see DESIGN.md §11): requests pass an
+// admission controller (internal/admit) with bounded queues, a token
+// bucket, priority classes, and brownout shedding; shed requests are
+// answered CodeServerBusy with a retry_after_s hint instead of queueing
+// unboundedly, and status/metrics reads degrade to a cached snapshot
+// (stale=true) while the simulation is saturated.
 package controlplane
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/dhlsys"
@@ -60,12 +69,37 @@ func (r Request) Validate() error {
 	}
 }
 
+// DecodeRequest parses one newline-delimited request frame. It rejects
+// frames that carry trailing data after the JSON object (a desynchronised
+// or malicious stream) and never panics on malformed input
+// (FuzzDecodeRequest pins that).
+func DecodeRequest(frame []byte) (Request, error) {
+	var req Request
+	dec := json.NewDecoder(bytes.NewReader(frame))
+	if err := dec.Decode(&req); err != nil {
+		return Request{}, fmt.Errorf("controlplane: malformed request: %v", err)
+	}
+	if rest := bytes.TrimSpace(frame[int(dec.InputOffset()):]); len(rest) > 0 {
+		return Request{}, fmt.Errorf("controlplane: trailing data after request object")
+	}
+	return req, nil
+}
+
 // Response is the server's reply.
 type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
 	// Code is the structured error code (CodeForError) when OK is false.
 	Code string `json:"code,omitempty"`
+	// RetryAfterS hints, on CodeServerBusy responses, how long a
+	// well-behaved client should wait before retrying (wall seconds,
+	// derived from the admission controller's backlog estimate).
+	RetryAfterS float64 `json:"retry_after_s,omitempty"`
+	// Stale marks a status/metrics response served from the cached
+	// snapshot because the simulation was saturated; CacheAgeS is that
+	// snapshot's age in wall seconds.
+	Stale     bool    `json:"stale,omitempty"`
+	CacheAgeS float64 `json:"cache_age_s,omitempty"`
 	// SimTime is the simulation clock after the operation, seconds.
 	SimTime float64 `json:"sim_time"`
 	// OpSeconds is the simulated duration of this operation.

@@ -2,13 +2,16 @@ package controlplane
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/dhlsys"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
@@ -16,40 +19,66 @@ import (
 	"repro/internal/units"
 )
 
-// ServerOptions hardens the API server against misbehaving peers. All
-// timeouts are wall-clock (the simulation clock is unaffected).
+// ServerOptions hardens the API server against misbehaving peers and
+// overload. All timeouts are wall-clock (the simulation clock is
+// unaffected).
 type ServerOptions struct {
-	// ReadTimeout bounds how long a connection may sit idle between
-	// requests before it is dropped; 0 disables the deadline.
+	// ReadTimeout bounds how long a connection may take to deliver one
+	// complete request frame (including sitting idle between requests)
+	// before it is dropped; 0 disables the deadline.
 	ReadTimeout time.Duration
-	// RequestTimeout bounds how long one request may wait for the
-	// simulation (which serialises all clients) plus execute; a request
-	// that cannot acquire the simulation in time is answered with
-	// CodeServerBusy instead of queueing unboundedly. 0 disables.
+	// RequestTimeout bounds how long one admitted request may wait for
+	// the simulation (which serialises all clients) plus execute; a
+	// request that cannot acquire the simulation in time is answered
+	// with CodeServerBusy instead of queueing unboundedly. 0 disables.
 	RequestTimeout time.Duration
 	// DrainTimeout bounds Close's graceful wait for in-flight
 	// connections; connections still open when it expires are forcibly
 	// closed. 0 waits forever.
 	DrainTimeout time.Duration
+	// MaxRequestBytes caps one request frame; a longer line is answered
+	// CodeBadRequest and the connection dropped, so a peer streaming an
+	// endless line cannot balloon server memory. 0 disables the cap.
+	MaxRequestBytes int
+	// MaxConns caps concurrently served connections; further accepts
+	// are answered with a CodeServerBusy response and closed. 0
+	// disables the cap.
+	MaxConns int
+	// Admission configures the overload controller (bounded queue,
+	// token bucket, priority classes, brownout — see internal/admit).
+	// nil disables admission control, leaving only RequestTimeout.
+	Admission *admit.Options
+	// Clock supplies wall time for admission control, retry-after
+	// hints, and snapshot aging; nil means time.Now. Injected so the
+	// overload machinery is testable on a deterministic clock.
+	Clock func() time.Time
 }
 
-// DefaultServerOptions is the hardened default: 30 s idle read deadline,
-// 10 s request budget, 5 s shutdown drain.
+// DefaultServerOptions is the hardened default: 30 s frame deadline,
+// 10 s request budget, 5 s shutdown drain, 1 MiB frame cap, and
+// admission control with a 64-deep bounded queue.
 func DefaultServerOptions() ServerOptions {
 	return ServerOptions{
-		ReadTimeout:    30 * time.Second,
-		RequestTimeout: 10 * time.Second,
-		DrainTimeout:   5 * time.Second,
+		ReadTimeout:     30 * time.Second,
+		RequestTimeout:  10 * time.Second,
+		DrainTimeout:    5 * time.Second,
+		MaxRequestBytes: 1 << 20,
+		Admission:       &admit.Options{MaxInFlight: 1, MaxQueue: 64},
 	}
 }
 
 // Server serves the §III-D API over TCP for one DHL deployment. The
 // underlying simulation is single-threaded; a capacity-1 semaphore
 // serialises client operations (the DHL scheduler itself serialises
-// physical resources) and lets waiting requests time out.
+// physical resources). Overload protection happens before the semaphore:
+// the admission controller bounds the waiting room and sheds the excess
+// with retry-after hints, and status/metrics reads are served from a
+// cached snapshot whenever the simulation is busy, so observability
+// never queues behind the workload.
 type Server struct {
 	sys *dhlsys.System
 	opt ServerOptions
+	adm *admit.Controller
 
 	sem chan struct{} // capacity 1: holds the simulation
 
@@ -61,6 +90,29 @@ type Server struct {
 	// conns tracks live connections so Close can sever stragglers.
 	//dhllint:guardedby connMu
 	conns map[net.Conn]struct{}
+	// nextConnID numbers connections for the per-connection admission
+	// cap.
+	//dhllint:guardedby connMu
+	nextConnID int64
+	// severed counts connections forcibly closed by Close's drain
+	// deadline.
+	//dhllint:guardedby connMu
+	severed int
+
+	cacheMu sync.Mutex
+	// The snapshot cache: refreshed after every simulation-holding
+	// request, served to status/metrics reads while the simulation is
+	// saturated (graceful degradation instead of queueing).
+	//dhllint:guardedby cacheMu
+	cacheStats *StatsJSON
+	//dhllint:guardedby cacheMu
+	cacheMetrics *telemetry.Snapshot
+	//dhllint:guardedby cacheMu
+	cacheSimTime float64
+	//dhllint:guardedby cacheMu
+	cacheAt time.Time
+	//dhllint:guardedby cacheMu
+	cacheOK bool
 }
 
 // NewServer wraps a system with the default hardening options. The system
@@ -77,13 +129,44 @@ func NewServerWithOptions(sys *dhlsys.System, opt ServerOptions) (*Server, error
 	if opt.ReadTimeout < 0 || opt.RequestTimeout < 0 || opt.DrainTimeout < 0 {
 		return nil, errors.New("controlplane: timeouts must be non-negative")
 	}
-	return &Server{
+	if opt.MaxRequestBytes < 0 || opt.MaxConns < 0 {
+		return nil, errors.New("controlplane: limits must be non-negative")
+	}
+	s := &Server{
 		sys:    sys,
 		opt:    opt,
 		sem:    make(chan struct{}, 1),
 		closed: make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
-	}, nil
+	}
+	if opt.Admission != nil {
+		s.adm = admit.New(*opt.Admission)
+	}
+	return s, nil
+}
+
+// Admission exposes the admission controller's ledger (zero Stats when
+// admission control is disabled).
+func (s *Server) Admission() admit.Stats {
+	if s.adm == nil {
+		return admit.Stats{}
+	}
+	return s.adm.Snapshot()
+}
+
+// Severed reports how many connections Close had to sever after the
+// drain deadline expired.
+func (s *Server) Severed() int {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return s.severed
+}
+
+func (s *Server) now() time.Time {
+	if s.opt.Clock != nil {
+		return s.opt.Clock()
+	}
+	return time.Now()
 }
 
 // Listen starts accepting on addr (e.g. "127.0.0.1:0") and returns the
@@ -93,15 +176,26 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("controlplane: listen: %w", err)
 	}
+	s.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Serve starts accepting connections from an already-bound listener and
+// returns immediately; Close stops it. Exposed so tests and embedders
+// can inject listeners (fault injection, in-memory transports).
+func (s *Server) Serve(ln net.Listener) {
 	s.ln = ln
 	s.wg.Add(1)
 	//dhllint:allow goroutine,goescape -- network accept loop, not model code; the conns map it reaches is lockcheck-verified under connMu
 	go s.acceptLoop()
-	return ln.Addr().String(), nil
 }
+
+// acceptBackoffMax caps the retry backoff for transient Accept errors.
+const acceptBackoffMax = time.Second
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -109,10 +203,49 @@ func (s *Server) acceptLoop() {
 			case <-s.closed:
 				return
 			default:
-				return // listener failed; nothing more to accept
 			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient failures (ECONNABORTED, EMFILE, accept
+			// timeouts) must not kill the listener forever: back off
+			// with a capped exponential delay and try again. Only a
+			// permanent listener error exits the loop.
+			var te interface{ Temporary() bool }
+			if !errors.As(err, &te) || !te.Temporary() {
+				return
+			}
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			t := time.NewTimer(backoff)
+			select {
+			case <-s.closed:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			continue
 		}
-		if !s.track(conn) {
+		backoff = 0
+		id, st := s.track(conn)
+		switch st {
+		case trackRefused:
+			// Over the connection cap: answer structurally so a
+			// well-behaved client backs off instead of redialling hot.
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			enc := json.NewEncoder(conn)
+			enc.Encode(Response{
+				OK:          false,
+				Error:       fmt.Sprintf("controlplane: connection limit (%d) reached", s.opt.MaxConns),
+				Code:        CodeServerBusy,
+				RetryAfterS: 1,
+			})
+			conn.Close()
+			continue
+		case trackClosing:
 			conn.Close() // shutting down; refuse new work
 			continue
 		}
@@ -121,23 +254,35 @@ func (s *Server) acceptLoop() {
 		go func() {
 			defer s.wg.Done()
 			defer s.untrack(conn)
-			s.serveConn(conn)
+			s.serveConn(id, conn)
 		}()
 	}
 }
 
-// track registers a live connection; it refuses (returns false) once
-// shutdown has begun.
-func (s *Server) track(conn net.Conn) bool {
+type trackStatus int
+
+const (
+	trackOK trackStatus = iota
+	trackRefused
+	trackClosing
+)
+
+// track registers a live connection and assigns its ID; it refuses once
+// shutdown has begun or the connection cap is reached.
+func (s *Server) track(conn net.Conn) (int64, trackStatus) {
 	select {
 	case <-s.closed:
-		return false
+		return 0, trackClosing
 	default:
 	}
 	s.connMu.Lock()
 	defer s.connMu.Unlock()
+	if s.opt.MaxConns > 0 && len(s.conns) >= s.opt.MaxConns {
+		return 0, trackRefused
+	}
 	s.conns[conn] = struct{}{}
-	return true
+	s.nextConnID++
+	return s.nextConnID, trackOK
 }
 
 func (s *Server) untrack(conn net.Conn) {
@@ -152,12 +297,43 @@ func (s *Server) untrack(conn net.Conn) {
 func (s *Server) severConns() {
 	for c := range s.conns {
 		c.Close()
+		s.severed++
 	}
 }
 
-func (s *Server) serveConn(conn net.Conn) {
+// errFrameTooLarge marks a request frame over MaxRequestBytes.
+var errFrameTooLarge = errors.New("controlplane: request frame too large")
+
+// readFrame reads one newline-terminated request frame, bounding its
+// size so a peer streaming an endless line cannot balloon server
+// memory. A final frame without a trailing newline is accepted at EOF.
+func readFrame(br *bufio.Reader, max int) ([]byte, error) {
+	var frame []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		frame = append(frame, frag...)
+		if max > 0 && len(frame) > max {
+			return nil, errFrameTooLarge
+		}
+		switch err {
+		case nil:
+			return frame, nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if len(frame) > 0 {
+				return frame, nil
+			}
+			return nil, io.EOF
+		default:
+			return nil, err
+		}
+	}
+}
+
+func (s *Server) serveConn(connID int64, conn net.Conn) {
 	defer conn.Close()
-	dec := json.NewDecoder(bufio.NewReader(conn))
+	br := bufio.NewReader(conn)
 	enc := json.NewEncoder(conn)
 	for {
 		select {
@@ -170,12 +346,29 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 		}
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			return // EOF, idle timeout, or malformed stream: drop the connection
+		frame, err := readFrame(br, s.opt.MaxRequestBytes)
+		if errors.Is(err, errFrameTooLarge) {
+			// Answer structurally, then drop: the rest of the line is
+			// still in flight and the stream cannot be resynchronised.
+			enc.Encode(Response{
+				OK:    false,
+				Error: fmt.Sprintf("controlplane: request exceeds %d bytes", s.opt.MaxRequestBytes),
+				Code:  CodeBadRequest,
+			})
+			return
 		}
-		resp := s.handle(req)
-		if err := enc.Encode(resp); err != nil {
+		if err != nil {
+			return // EOF, idle timeout, or transport failure
+		}
+		if len(bytes.TrimSpace(frame)) == 0 {
+			continue // tolerate blank keep-alive lines
+		}
+		req, err := DecodeRequest(frame)
+		if err != nil {
+			enc.Encode(Response{OK: false, Error: err.Error(), Code: CodeBadRequest})
+			return // malformed frame: the stream may be desynchronised
+		}
+		if err := enc.Encode(s.handle(connID, req)); err != nil {
 			return
 		}
 	}
@@ -199,33 +392,96 @@ func (s *Server) acquire() bool {
 
 func (s *Server) release() { <-s.sem }
 
-// handle executes one request against the simulation.
-func (s *Server) handle(req Request) Response {
+// classOf maps an op to its admission priority class.
+func classOf(op Op) admit.Class {
+	switch op {
+	case OpStatus, OpMetrics:
+		return admit.ClassControl
+	case OpOpen, OpClose:
+		return admit.ClassLaunch
+	default:
+		return admit.ClassIO
+	}
+}
+
+// busyResponse builds the structured load-shed reply.
+func busyResponse(msg string, retryAfter time.Duration) Response {
+	return Response{
+		OK:          false,
+		Error:       "controlplane: " + msg,
+		Code:        CodeServerBusy,
+		RetryAfterS: retryAfter.Seconds(),
+	}
+}
+
+// handle executes one request: control reads through the snapshot path,
+// everything else through admission and the simulation.
+func (s *Server) handle(connID int64, req Request) Response {
 	if err := req.Validate(); err != nil {
 		return Response{OK: false, Error: err.Error(), Code: CodeBadRequest}
 	}
-	if !s.acquire() {
-		return Response{
-			OK:    false,
-			Error: fmt.Sprintf("controlplane: simulation busy for %v", s.opt.RequestTimeout),
-			Code:  CodeServerBusy,
-		}
+	if req.Op == OpStatus || req.Op == OpMetrics {
+		return s.handleControl(req)
 	}
-	defer s.release()
 
-	if req.Op == OpStatus {
-		resp := Response{
-			OK:      true,
-			SimTime: float64(s.sys.Engine.Now()),
-			Stats:   statsJSON(s.sys.Report()),
+	var tk *admit.Ticket
+	if s.adm != nil {
+		t, out := s.adm.Arrive(classOf(req.Op), connID, s.now())
+		if !out.Admitted {
+			return busyResponse("overloaded: "+out.Reason.String(), out.RetryAfter)
 		}
-		if s.sys.Telemetry() != nil {
-			snap := s.sys.MetricsSnapshot()
-			resp.Metrics = &snap
+		tk = t
+	}
+	if !s.acquire() {
+		if tk != nil {
+			s.adm.Abandon(tk)
 		}
+		return busyResponse(
+			fmt.Sprintf("simulation busy for %v", s.opt.RequestTimeout),
+			s.opt.RequestTimeout)
+	}
+	if tk != nil {
+		s.adm.Started(tk, s.now())
+	}
+	resp := s.executeSim(req)
+	s.refreshCache()
+	s.release()
+	if tk != nil {
+		s.adm.Done(tk, s.now())
+	}
+	return resp
+}
+
+// handleControl answers status/metrics. Fast path: the simulation is
+// free, serve fresh and refresh the cache. Saturated path: serve the
+// cached snapshot (stale but answerable — graceful degradation). Only a
+// cold cache falls back to waiting for the simulation.
+func (s *Server) handleControl(req Request) Response {
+	select {
+	case s.sem <- struct{}{}:
+		resp := s.freshControl(req)
+		s.refreshCache()
+		s.release()
+		return resp
+	default:
+	}
+	if resp, ok := s.cachedControl(req); ok {
 		return resp
 	}
+	if !s.acquire() {
+		return busyResponse(
+			fmt.Sprintf("simulation busy for %v and no snapshot cached yet", s.opt.RequestTimeout),
+			s.opt.RequestTimeout)
+	}
+	resp := s.freshControl(req)
+	s.refreshCache()
+	s.release()
+	return resp
+}
 
+// freshControl builds a status/metrics response from the live
+// simulation. Callers hold the simulation semaphore.
+func (s *Server) freshControl(req Request) Response {
 	if req.Op == OpMetrics {
 		if s.sys.Telemetry() == nil {
 			return Response{
@@ -241,7 +497,86 @@ func (s *Server) handle(req Request) Response {
 			Text:    telemetry.PrometheusText(s.sys.MetricsSnapshot()),
 		}
 	}
+	resp := Response{
+		OK:      true,
+		SimTime: float64(s.sys.Engine.Now()),
+		Stats:   statsJSON(s.sys.Report()),
+	}
+	if s.sys.Telemetry() != nil {
+		snap := s.sys.MetricsSnapshot()
+		resp.Metrics = &snap
+	}
+	return resp
+}
 
+// refreshCache publishes the snapshot served to control reads during
+// saturation. Callers hold the simulation semaphore.
+func (s *Server) refreshCache() {
+	st := statsJSON(s.sys.Report())
+	var snap *telemetry.Snapshot
+	if s.sys.Telemetry() != nil {
+		m := s.sys.MetricsSnapshot()
+		snap = &m
+	}
+	simT := float64(s.sys.Engine.Now())
+	now := s.now()
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	s.cacheStats = st
+	s.cacheMetrics = snap
+	s.cacheSimTime = simT
+	s.cacheAt = now
+	s.cacheOK = true
+}
+
+// cachedControl serves a control read from the snapshot cache. The
+// cached values are replaced wholesale by refreshCache and never mutated
+// in place, so handing out shallow copies is safe.
+func (s *Server) cachedControl(req Request) (Response, bool) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if !s.cacheOK {
+		return Response{}, false
+	}
+	age := s.now().Sub(s.cacheAt).Seconds()
+	if age < 0 {
+		age = 0
+	}
+	if req.Op == OpMetrics {
+		if s.cacheMetrics == nil {
+			return Response{
+				OK:      false,
+				Error:   "controlplane: system has no telemetry set",
+				Code:    CodeNoTelemetry,
+				SimTime: s.cacheSimTime,
+			}, true
+		}
+		return Response{
+			OK:        true,
+			SimTime:   s.cacheSimTime,
+			Text:      telemetry.PrometheusText(*s.cacheMetrics),
+			Stale:     true,
+			CacheAgeS: age,
+		}, true
+	}
+	st := *s.cacheStats
+	resp := Response{
+		OK:        true,
+		SimTime:   s.cacheSimTime,
+		Stats:     &st,
+		Stale:     true,
+		CacheAgeS: age,
+	}
+	if s.cacheMetrics != nil {
+		m := *s.cacheMetrics
+		resp.Metrics = &m
+	}
+	return resp, true
+}
+
+// executeSim runs one simulation op. Callers hold the simulation
+// semaphore.
+func (s *Server) executeSim(req Request) Response {
 	start := s.sys.Engine.Now()
 	var opErr error
 	id := track.CartID(req.Cart)
@@ -305,9 +640,12 @@ func (s *Server) Close() error {
 // Error codes carried in Response.Code, derived from the fault taxonomy and
 // API error set so clients can branch without parsing messages.
 const (
-	// CodeBadRequest: the request failed validation.
+	// CodeBadRequest: the request failed validation, was malformed, or
+	// exceeded the frame cap.
 	CodeBadRequest = "bad-request"
-	// CodeServerBusy: the simulation could not be acquired in time.
+	// CodeServerBusy: the request was shed by admission control or could
+	// not acquire the simulation in time; retry_after_s carries the
+	// backoff hint.
 	CodeServerBusy = "server-busy"
 	// CodeInternal: the simulation engine itself failed.
 	CodeInternal = "internal"
@@ -367,7 +705,8 @@ func CodeForError(err error) string {
 	}
 }
 
-// Client is a minimal API client for the wire protocol.
+// Client is a minimal API client for the wire protocol. For deadline
+// propagation, retries, and retry budgets, use internal/cpclient.
 type Client struct {
 	conn net.Conn
 	enc  *json.Encoder

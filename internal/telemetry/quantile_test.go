@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.1, 0.2, 0.4, 0.8})
+	// 10 observations uniform in the first bucket, 10 in the third.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05)
+		h.Observe(0.3)
+	}
+	hp := r.Snapshot().Histograms[0]
+
+	// Median sits exactly at the first bucket's upper bound.
+	if got := Quantile(hp, 0.5); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("p50 = %v, want 0.1", got)
+	}
+	// p75 is halfway through the (0.2, 0.4] bucket's mass.
+	if got := Quantile(hp, 0.75); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("p75 = %v, want 0.3", got)
+	}
+	// p100 reaches the top of the occupied bucket.
+	if got := Quantile(hp, 1); math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("p100 = %v, want 0.4", got)
+	}
+	// q clamps.
+	if got := Quantile(hp, -1); got != Quantile(hp, 0) {
+		t.Errorf("negative q should clamp: %v", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if got := Quantile(HistogramPoint{}, 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2})
+	h.Observe(10) // lands in +Inf
+	h.Observe(10)
+	hp := r.Snapshot().Histograms[0]
+	// All mass beyond the last finite bound: clamp there.
+	if got := Quantile(hp, 0.99); got != 2 {
+		t.Errorf("overflow quantile = %v, want clamp to 2", got)
+	}
+	// A bucket with zero width of probability (cum == lowerCum) cannot
+	// divide by zero.
+	r2 := NewRegistry()
+	h2 := r2.Histogram("one", []float64{1, 2, 3})
+	h2.Observe(2.5)
+	hp2 := r2.Snapshot().Histograms[0]
+	if got := Quantile(hp2, 0); math.IsNaN(got) {
+		t.Error("q=0 produced NaN")
+	}
+}

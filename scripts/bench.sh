@@ -9,6 +9,7 @@
 #   scripts/bench.sh lint                             # the dhllint engine → BENCH_lint.json
 #   scripts/bench.sh telemetry                        # instrumentation overhead → BENCH_telemetry.json
 #   scripts/bench.sh kernel                           # event-kernel hot path → BENCH_kernel.json
+#   scripts/bench.sh controlplane                     # dhlload overload run → BENCH_controlplane.json
 #
 # The telemetry mode runs the enabled/disabled shuttle pair and adds an
 # overhead_pct field (enabled vs disabled best-of-3 ns/op) to the output;
@@ -23,8 +24,31 @@
 # The lint mode runs the sequential/parallel dhllint engine pair and adds
 # gomaxprocs + notes fields, so a recorded no-speedup parallel run names
 # its cause (a single-core host) instead of looking like a pool bug.
+#
+# The controlplane mode is not a Go benchmark: it runs the cmd/dhlload
+# virtual-time load harness at ~4x saturation (closed loop, fixed seed)
+# and records p50/p99 latency, offered vs goodput req/s, and shed counts.
+# The run is byte-deterministic — it is executed twice and the outputs
+# compared, so a nondeterminism regression fails the bench itself.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "controlplane" ]]; then
+    out="BENCH_controlplane.json"
+    load_args=(-mode closed -clients 48 -duration 30 -seed 9
+               -think 0.1 -status-every 0.5 -max-queue 8)
+    go run ./cmd/dhlload "${load_args[@]}" -bench-out "$out"
+    second="$(mktemp)"
+    trap 'rm -f "$second"' EXIT
+    go run ./cmd/dhlload "${load_args[@]}" -bench-out "$second" > /dev/null
+    if ! cmp -s "$out" "$second"; then
+        echo "bench.sh: dhlload runs diverged — determinism regression" >&2
+        diff "$out" "$second" >&2 || true
+        exit 1
+    fi
+    echo "wrote $out (two runs byte-identical)"
+    exit 0
+fi
 
 out="${1:-BENCH_sweep.json}"
 pattern="${2:-.}"
