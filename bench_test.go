@@ -32,6 +32,7 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/thermal"
 	"repro/internal/track"
+	"repro/internal/tubenet"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -746,6 +747,74 @@ func BenchmarkDatamapPlacement(b *testing.B) {
 		}
 		if _, err := c.Append("ds", 200*units.TB); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampusSimulation runs the acceptance-scale tubenet campus: the
+// 1,000-cart fleet over the 20-station default campus under the
+// campus-partition chaos scenario — the workload scripts/bench.sh campus
+// pins in BENCH_campus.json.
+func BenchmarkCampusSimulation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := tubenet.New(tubenet.Options{Carts: 1000, TripsPerCart: 2, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		script, err := faults.ScenarioDims(faults.ScenarioCampusPartition, 3, 300, c.Dims())
+		if err != nil {
+			b.Fatal(err)
+		}
+		inj, err := faults.NewInjector(c.Engine(), c, script)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := inj.Arm(); err != nil {
+			b.Fatal(err)
+		}
+		res, err := c.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TripsCompleted+res.TripsPending != 2000 {
+			b.Fatal("trip accounting leaked")
+		}
+	}
+}
+
+// BenchmarkCampusDispatchSteadyState isolates the per-event cost of the
+// tubenet dispatch hot loop (depart/arrive/dock/dwell), steady-state, no
+// chaos, no epochs — the path the zero-alloc budget governs.
+func BenchmarkCampusDispatchSteadyState(b *testing.B) {
+	// Each campus instance yields ~400k dispatch events; when one drains,
+	// a fresh warmed instance replaces it with the timer stopped.
+	warm := func() *sim.Engine {
+		c, err := tubenet.New(tubenet.Options{
+			Carts: 256, TripsPerCart: 256, Seed: 1, EpochEvery: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Start(); err != nil {
+			b.Fatal(err)
+		}
+		eng := c.Engine()
+		for i := 0; i < 1<<14; i++ {
+			if !eng.Step() {
+				b.Fatal("campus drained during warm-up")
+			}
+		}
+		return eng
+	}
+	eng := warm()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !eng.Step() {
+			b.StopTimer()
+			eng = warm()
+			b.StartTimer()
 		}
 	}
 }

@@ -11,6 +11,9 @@
 //	       [-chaos NAME] [-horizon S] [-fault-log] [-strict]
 //	       [-timeout S] [-backoff S] [-failure-sweep R1,R2,...]
 //	       [-metrics] [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	dhlsim -campus [-campus-carts N] [-campus-trips N] [-campus-epoch S]
+//	       [-campus-alpha F] [-campus-workers N] [-chaos campus-partition]
+//	       [-fault-log] [-metrics] [-bench-out FILE] [-campus-study S1,S2,...]
 package main
 
 import (
@@ -57,8 +60,38 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "collect telemetry and write a Chrome trace_event JSON file of the run")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+
+		campus        = flag.Bool("campus", false, "run the campus tube-network simulation (internal/tubenet) instead of the shuttle")
+		campusCarts   = flag.Int("campus-carts", 1000, "campus fleet size")
+		campusTrips   = flag.Int("campus-trips", 2, "station-to-station trips per campus cart")
+		campusEpoch   = flag.Float64("campus-epoch", 30, "congestion route-recompute period in seconds (0 = recompute only on faults)")
+		campusAlpha   = flag.Float64("campus-alpha", 0.25, "queue-depth weight in the congestion-aware edge cost")
+		campusWorkers = flag.Int("campus-workers", 1, "sweep workers for route recomputes and studies (output identical at any count)")
+		campusStudy   = flag.String("campus-study", "", "comma-separated seeds: run the chaos-vs-calm campus replica study and exit (implies -campus)")
+		benchOut      = flag.String("bench-out", "", "campus mode: write p50/p99 transit and reroute counts as benchmark JSON to this file")
 	)
 	flag.Parse()
+
+	if *campus || *campusStudy != "" {
+		runCampus(campusOptions{
+			carts:    *campusCarts,
+			trips:    *campusTrips,
+			seed:     *seed,
+			epoch:    *campusEpoch,
+			alpha:    *campusAlpha,
+			workers:  *campusWorkers,
+			chaos:    *chaos,
+			horizon:  *horizon,
+			faultLog: *faultLog,
+			metrics:  *metrics,
+			benchOut: *benchOut,
+			study:    *campusStudy,
+		})
+		return
+	}
+	if *benchOut != "" {
+		log.Fatal("-bench-out is only meaningful with -campus")
+	}
 	if *datasetPB <= 0 {
 		log.Fatalf("-dataset-pb must be positive, got %v", *datasetPB)
 	}
@@ -224,6 +257,7 @@ var chaosScenarios = []struct{ name, desc string }{
 	{faults.ScenarioBlockedTrack, "cart stalls and debris on the rail"},
 	{faults.ScenarioBrownout, "LIM power losses and dock-station failures"},
 	{faults.ScenarioRoughDay, "all of the above at once, at lower per-kind rates"},
+	{faults.ScenarioCampusPartition, "junction and tube-segment failures carving a campus apart (-campus only)"},
 }
 
 // unknownChaosMessage renders the fatal message for an unrecognised -chaos
@@ -232,8 +266,14 @@ func unknownChaosMessage(err error) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%v\n", err)
 	b.WriteString("valid -chaos scenarios:\n")
+	width := 0
 	for _, s := range chaosScenarios {
-		fmt.Fprintf(&b, "  %-14s %s\n", s.name, s.desc)
+		if len(s.name) > width {
+			width = len(s.name)
+		}
+	}
+	for _, s := range chaosScenarios {
+		fmt.Fprintf(&b, "  %-*s  %s\n", width, s.name, s.desc)
 	}
 	b.WriteString("replay any scenario byte-identically with -chaos NAME -seed N")
 	return b.String()

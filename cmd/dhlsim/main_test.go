@@ -29,13 +29,14 @@ func TestUnknownChaosMessageGolden(t *testing.T) {
 		t.Fatalf("err = %v, want ErrUnknownScenario", err)
 	}
 	got := unknownChaosMessage(err)
-	want := `faults: unknown scenario: "typhoon" (known: [ssd-storm leaky-tube blocked-track brownout rough-day])
+	want := `faults: unknown scenario: "typhoon" (known: [ssd-storm leaky-tube blocked-track brownout rough-day campus-partition])
 valid -chaos scenarios:
-  ssd-storm      a burst of in-flight SSD deaths
-  leaky-tube     repeated vacuum leaks of varying severity
-  blocked-track  cart stalls and debris on the rail
-  brownout       LIM power losses and dock-station failures
-  rough-day      all of the above at once, at lower per-kind rates
+  ssd-storm         a burst of in-flight SSD deaths
+  leaky-tube        repeated vacuum leaks of varying severity
+  blocked-track     cart stalls and debris on the rail
+  brownout          LIM power losses and dock-station failures
+  rough-day         all of the above at once, at lower per-kind rates
+  campus-partition  junction and tube-segment failures carving a campus apart (-campus only)
 replay any scenario byte-identically with -chaos NAME -seed N`
 	if got != want {
 		t.Errorf("usage message drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)

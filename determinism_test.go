@@ -21,9 +21,24 @@ import (
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
 	"repro/internal/track"
+	"repro/internal/tubenet"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
+
+// shuttleScenarios lists the chaos scenarios that apply to a
+// point-to-point shuttle deployment. campus-partition targets the tubenet
+// campus graph (Dims.Segments >= 1) and has its own determinism pin in
+// TestCampusSimulationIsByteIdentical.
+func shuttleScenarios() []string {
+	var names []string
+	for _, s := range faults.ScenarioNames() {
+		if s != faults.ScenarioCampusPartition {
+			names = append(names, s)
+		}
+	}
+	return names
+}
 
 // serialize renders any value to the exact bytes a report would emit.
 func serialize(t *testing.T, v any) string {
@@ -180,7 +195,7 @@ func telemetryChaosRun(t *testing.T, set *telemetry.Set, scenario string, seed i
 // must serialize to the same metrics-snapshot JSON and the same Chrome
 // trace bytes, making exports diffable artefacts like every other report.
 func TestTelemetryExportsAreByteIdenticalAcrossRuns(t *testing.T) {
-	for _, scenario := range faults.ScenarioNames() {
+	for _, scenario := range shuttleScenarios() {
 		snap1, trace1 := telemetryChaosRun(t, telemetry.NewSet(), scenario, 1337)
 		snap2, trace2 := telemetryChaosRun(t, telemetry.NewSet(), scenario, 1337)
 		if snap1 != snap2 {
@@ -207,7 +222,7 @@ func TestTelemetryRecycledSetIsByteIdentical(t *testing.T) {
 	shared := telemetry.NewSet()
 	// Warm the shared set on a different scenario first, so stale state
 	// from a dissimilar run would show up in the comparison below.
-	scenarios := faults.ScenarioNames()
+	scenarios := shuttleScenarios()
 	if len(scenarios) > 1 {
 		telemetryChaosRun(t, shared, scenarios[len(scenarios)-1], 7)
 	}
@@ -236,7 +251,7 @@ func mustSnap(t *testing.T, s string) telemetry.Snapshot {
 }
 
 func TestChaosScenariosAreByteIdenticalAcrossRuns(t *testing.T) {
-	for _, scenario := range faults.ScenarioNames() {
+	for _, scenario := range shuttleScenarios() {
 		first, second := chaosRun(t, scenario, 1337), chaosRun(t, scenario, 1337)
 		if first != second {
 			t.Errorf("chaos scenario %s differs between runs:\n%s\nvs\n%s", scenario, first, second)
@@ -260,7 +275,7 @@ func TestRandomFaultSchedulesNeverDeadlockDockFIFO(t *testing.T) {
 		{"contended-dual", 4, 2, track.DualRail},
 	}
 	for _, cfg := range configs {
-		for _, scenario := range faults.ScenarioNames() {
+		for _, scenario := range shuttleScenarios() {
 			for seed := int64(1); seed <= 3; seed++ {
 				opt := dhlsys.DefaultOptions()
 				opt.NumCarts = cfg.carts
@@ -319,5 +334,52 @@ func TestDatamapPlacementIsByteIdenticalAcrossRuns(t *testing.T) {
 	first, second := run(), run()
 	if first != second {
 		t.Errorf("datamap placement differs between runs:\n%s\nvs\n%s", first, second)
+	}
+}
+
+// campusChaosRun executes the full acceptance-scale campus simulation —
+// 1,000 carts over the 20-station default campus under the
+// campus-partition chaos scenario — and renders every observable artefact
+// (fault event log plus the complete Result report, per-edge stats
+// included) as one string.
+func campusChaosRun(t *testing.T, seed int64) string {
+	t.Helper()
+	c, err := tubenet.New(tubenet.Options{Carts: 1000, TripsPerCart: 2, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	script, err := faults.ScenarioDims(faults.ScenarioCampusPartition, seed, 300, c.Dims())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(c.Engine(), c, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TripsCompleted+res.TripsPending != 2000 {
+		t.Fatalf("trip accounting leaked: %d done + %d pending != 2000",
+			res.TripsCompleted, res.TripsPending)
+	}
+	return strings.Join(inj.LogLines(), "\n") + "\n" + res.String()
+}
+
+// TestCampusSimulationIsByteIdentical is the acceptance pin for the
+// tubenet subsystem: a deterministic campus simulation of 1,000 carts
+// across 20 stations with junction and tube-segment chaos must replay
+// byte-identically from its seed.
+func TestCampusSimulationIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("acceptance-scale campus run")
+	}
+	first, second := campusChaosRun(t, 3), campusChaosRun(t, 3)
+	if first != second {
+		t.Errorf("1000-cart campus chaos run differs between runs:\n%.2000s\nvs\n%.2000s", first, second)
 	}
 }

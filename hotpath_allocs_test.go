@@ -19,6 +19,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
+	"repro/internal/tubenet"
 	"repro/internal/units"
 )
 
@@ -218,5 +219,42 @@ func TestHotPathAllocsLaunchLoopTelemetry(t *testing.T) {
 	}
 	if set.Spans.NumSpans() == 0 {
 		t.Fatal("telemetry recorded no spans")
+	}
+}
+
+// TestHotPathAllocsCampusDispatch pins the tubenet dispatch hot loop:
+// steady-state depart/arrive/dock/dwell cycles over a warm campus, with
+// every per-edge queue, occupant list, and line-hold slice already grown
+// to its working footprint, must not allocate. No chaos and no epochs, so
+// the only code driven is the //dhllint:hotpath-annotated path.
+func TestHotPathAllocsCampusDispatch(t *testing.T) {
+	c, err := tubenet.New(tubenet.Options{
+		Carts: 128, TripsPerCart: 512, Seed: 5, EpochEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng := c.Engine()
+	// Warm: drive well past the point where every queue has hit its peak
+	// depth, so appends stay within capacity during the measurement.
+	for i := 0; i < 1<<15; i++ {
+		if !eng.Step() {
+			t.Fatal("campus drained during warm-up")
+		}
+	}
+	drained := false
+	zeroAllocs(t, "campus dispatch", func() {
+		for i := 0; i < 64; i++ {
+			if !eng.Step() {
+				drained = true
+				return
+			}
+		}
+	})
+	if drained {
+		t.Fatal("campus drained mid-measurement; grow TripsPerCart")
 	}
 }

@@ -46,6 +46,15 @@ const (
 	// LIMPowerLoss de-energises the LIM serving one launch direction; no
 	// launches that way until power returns.
 	LIMPowerLoss
+	// JunctionFailure takes one campus station/junction out of service: no
+	// departures from it and the router excludes it until repair. Carts
+	// already inbound may still arrive (the tube physically ends there).
+	JunctionFailure
+	// TubeSegmentFailure kills one directed tube segment of a campus
+	// network (LIM de-energised or tube breached): no new entries, and
+	// carts mid-segment coast to a protected stop until the repair clears
+	// them through.
+	TubeSegmentFailure
 
 	numKinds
 )
@@ -66,6 +75,10 @@ func (k Kind) String() string {
 		return "dock-failure"
 	case LIMPowerLoss:
 		return "lim-power-loss"
+	case JunctionFailure:
+		return "junction-failure"
+	case TubeSegmentFailure:
+		return "tube-segment-failure"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -96,8 +109,11 @@ type Fault struct {
 	Cart track.CartID
 	// Device is the SSD index within the cart's array (SSDFailure).
 	Device int
-	// Station is the endpoint docking-station index (DockFailure).
+	// Station is the endpoint docking-station index (DockFailure) or the
+	// campus station/junction index (JunctionFailure).
 	Station int
+	// Segment is the campus tube-segment index (TubeSegmentFailure).
+	Segment int
 	// Direction is the rail direction (CartStall, LIMPowerLoss).
 	Direction track.Direction
 	// Pressure is the tube pressure while a VacuumLeak is open, in
@@ -111,8 +127,26 @@ var (
 	ErrBadScript = errors.New("faults: invalid script")
 )
 
-// Validate checks the fault against a deployment's dimensions.
+// Dims describes a deployment's dimensions for fault validation and
+// scenario generation. Segments is the number of directed tube segments in
+// a campus topology; zero means a point-to-point deployment, where
+// campus-only faults (JunctionFailure, TubeSegmentFailure) are invalid.
+type Dims struct {
+	Carts          int
+	Stations       int
+	DevicesPerCart int
+	Segments       int
+}
+
+// Validate checks the fault against a point-to-point deployment's
+// dimensions. Campus faults need ValidateDims with Segments set.
 func (f Fault) Validate(numCarts, numStations, devicesPerCart int) error {
+	return f.ValidateDims(Dims{Carts: numCarts, Stations: numStations, DevicesPerCart: devicesPerCart})
+}
+
+// ValidateDims checks the fault against a deployment's dimensions.
+func (f Fault) ValidateDims(d Dims) error {
+	numCarts, numStations, devicesPerCart := d.Carts, d.Stations, d.DevicesPerCart
 	if f.At < 0 {
 		return fmt.Errorf("%w: negative injection time %v", ErrBadFault, f.At)
 	}
@@ -152,6 +186,23 @@ func (f Fault) Validate(numCarts, numStations, devicesPerCart int) error {
 		if f.Duration <= 0 {
 			return fmt.Errorf("%w: lim-power-loss needs a positive restore time", ErrBadFault)
 		}
+	case JunctionFailure:
+		if f.Station < 0 || f.Station >= numStations {
+			return fmt.Errorf("%w: junction-failure station %d outside campus of %d", ErrBadFault, f.Station, numStations)
+		}
+		if f.Duration <= 0 {
+			return fmt.Errorf("%w: junction-failure needs a positive repair time", ErrBadFault)
+		}
+	case TubeSegmentFailure:
+		if d.Segments < 1 {
+			return fmt.Errorf("%w: tube-segment-failure needs a campus deployment (no tube segments)", ErrBadFault)
+		}
+		if f.Segment < 0 || f.Segment >= d.Segments {
+			return fmt.Errorf("%w: tube-segment-failure segment %d outside network of %d", ErrBadFault, f.Segment, d.Segments)
+		}
+		if f.Duration <= 0 {
+			return fmt.Errorf("%w: tube-segment-failure needs a positive repair time", ErrBadFault)
+		}
 	default:
 		return fmt.Errorf("%w: unknown kind %d", ErrBadFault, int(f.Kind))
 	}
@@ -174,6 +225,10 @@ func (f Fault) target() string {
 		return fmt.Sprintf("station=%d", f.Station)
 	case LIMPowerLoss:
 		return fmt.Sprintf("dir=%v", f.Direction)
+	case JunctionFailure:
+		return fmt.Sprintf("junction=%d", f.Station)
+	case TubeSegmentFailure:
+		return fmt.Sprintf("segment=%d", f.Segment)
 	default:
 		return ""
 	}
@@ -195,10 +250,16 @@ type Script struct {
 	Faults []Fault
 }
 
-// Validate checks every fault against the deployment's dimensions.
+// Validate checks every fault against a point-to-point deployment's
+// dimensions. Campus scripts need ValidateDims with Segments set.
 func (s Script) Validate(numCarts, numStations, devicesPerCart int) error {
+	return s.ValidateDims(Dims{Carts: numCarts, Stations: numStations, DevicesPerCart: devicesPerCart})
+}
+
+// ValidateDims checks every fault against the deployment's dimensions.
+func (s Script) ValidateDims(d Dims) error {
 	for i, f := range s.Faults {
-		if err := f.Validate(numCarts, numStations, devicesPerCart); err != nil {
+		if err := f.ValidateDims(d); err != nil {
 			return fmt.Errorf("%w: script %q fault %d: %v", ErrBadScript, s.Name, i, err)
 		}
 	}
@@ -226,6 +287,9 @@ const (
 	ScenarioBrownout = "brownout"
 	// ScenarioRoughDay: all of the above at once, at lower per-kind rates.
 	ScenarioRoughDay = "rough-day"
+	// ScenarioCampusPartition: junction and tube-segment failures that
+	// carve a campus tube network apart. Campus-only: needs Dims.Segments.
+	ScenarioCampusPartition = "campus-partition"
 )
 
 // ScenarioNames lists the named chaos scenarios.
@@ -236,25 +300,37 @@ func ScenarioNames() []string {
 		ScenarioBlockedTrack,
 		ScenarioBrownout,
 		ScenarioRoughDay,
+		ScenarioCampusPartition,
 	}
 }
 
 // ErrUnknownScenario is returned for scenario names outside ScenarioNames.
 var ErrUnknownScenario = errors.New("faults: unknown scenario")
 
-// Scenario generates a named chaos script for a deployment of the given
-// dimensions over [0, horizon]. Generation draws only from a *rand.Rand
-// seeded with seed, so a (name, seed, horizon, dims) tuple always yields
-// the identical script — the replayable unit of a chaos experiment.
+// Scenario generates a named chaos script for a point-to-point deployment
+// of the given dimensions over [0, horizon]. Campus-only scenarios
+// (ScenarioCampusPartition) need ScenarioDims with Segments set.
 func Scenario(name string, seed int64, horizon units.Seconds, numCarts, numStations, devicesPerCart int) (Script, error) {
+	return ScenarioDims(name, seed, horizon, Dims{Carts: numCarts, Stations: numStations, DevicesPerCart: devicesPerCart})
+}
+
+// ScenarioDims generates a named chaos script for a deployment of the
+// given dimensions over [0, horizon]. Generation draws only from a
+// *rand.Rand seeded with seed, so a (name, seed, horizon, dims) tuple
+// always yields the identical script — the replayable unit of a chaos
+// experiment.
+func ScenarioDims(name string, seed int64, horizon units.Seconds, d Dims) (Script, error) {
 	if horizon <= 0 {
 		return Script{}, fmt.Errorf("%w: horizon must be positive, got %v", ErrBadScript, horizon)
 	}
-	if numCarts < 1 || numStations < 1 || devicesPerCart < 1 {
+	if d.Carts < 1 || d.Stations < 1 || d.DevicesPerCart < 1 {
 		return Script{}, fmt.Errorf("%w: deployment dimensions must be positive", ErrBadScript)
 	}
+	if name == ScenarioCampusPartition && d.Segments < 1 {
+		return Script{}, fmt.Errorf("%w: scenario %q needs a campus deployment (Dims.Segments >= 1)", ErrBadScript, name)
+	}
 	rng := rand.New(rand.NewSource(seed))
-	g := generator{rng: rng, horizon: horizon, carts: numCarts, stations: numStations, devices: devicesPerCart}
+	g := generator{rng: rng, horizon: horizon, carts: d.Carts, stations: d.Stations, devices: d.DevicesPerCart, segments: d.Segments}
 	s := Script{Name: name}
 	switch name {
 	case ScenarioSSDStorm:
@@ -271,11 +347,13 @@ func Scenario(name string, seed int64, horizon units.Seconds, numCarts, numStati
 		s.Faults = append(s.Faults, g.stalls(3)...)
 		s.Faults = append(s.Faults, g.limLosses(2)...)
 		s.Faults = append(s.Faults, g.dockFailures(2)...)
+	case ScenarioCampusPartition:
+		s.Faults = append(g.junctionFailures(3), g.segmentFailures(6)...)
 	default:
 		return Script{}, fmt.Errorf("%w: %q (known: %v)", ErrUnknownScenario, name, ScenarioNames())
 	}
 	s.Faults = Script{Faults: s.Faults}.Sorted()
-	if err := s.Validate(numCarts, numStations, devicesPerCart); err != nil {
+	if err := s.ValidateDims(d); err != nil {
 		return Script{}, err
 	}
 	return s, nil
@@ -290,6 +368,7 @@ type generator struct {
 	carts    int
 	stations int
 	devices  int
+	segments int
 }
 
 // arrivals samples injection times over the horizon with the given
@@ -368,6 +447,32 @@ func (g *generator) limLosses(expected int) []Fault {
 			At:        t,
 			Duration:  g.window(0.03, 0.12),
 			Direction: track.Direction(g.rng.Intn(2)),
+		})
+	}
+	return out
+}
+
+func (g *generator) junctionFailures(expected int) []Fault {
+	var out []Fault
+	for _, t := range g.arrivals(expected) {
+		out = append(out, Fault{
+			Kind:     JunctionFailure,
+			At:       t,
+			Duration: g.window(0.08, 0.25),
+			Station:  g.rng.Intn(g.stations),
+		})
+	}
+	return out
+}
+
+func (g *generator) segmentFailures(expected int) []Fault {
+	var out []Fault
+	for _, t := range g.arrivals(expected) {
+		out = append(out, Fault{
+			Kind:     TubeSegmentFailure,
+			At:       t,
+			Duration: g.window(0.05, 0.20),
+			Segment:  g.rng.Intn(g.segments),
 		})
 	}
 	return out

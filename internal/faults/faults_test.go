@@ -12,7 +12,7 @@ import (
 )
 
 func TestKindStringsAndTaxonomyOrder(t *testing.T) {
-	want := []string{"ssd-failure", "cart-stall", "vacuum-leak", "dock-failure", "lim-power-loss"}
+	want := []string{"ssd-failure", "cart-stall", "vacuum-leak", "dock-failure", "lim-power-loss", "junction-failure", "tube-segment-failure"}
 	ks := Kinds()
 	if len(ks) != NumKinds || NumKinds != len(want) {
 		t.Fatalf("Kinds() = %v (NumKinds=%d), want %d kinds", ks, NumKinds, len(want))
@@ -51,12 +51,40 @@ func TestFaultValidate(t *testing.T) {
 		{"dock zero repair time", Fault{Kind: DockFailure, Station: 0}, false},
 		{"lim ok", Fault{Kind: LIMPowerLoss, Duration: 2}, true},
 		{"lim zero restore time", Fault{Kind: LIMPowerLoss}, false},
+		{"junction ok", Fault{Kind: JunctionFailure, Station: 1, Duration: 4}, true},
+		{"junction station out of campus", Fault{Kind: JunctionFailure, Station: 2, Duration: 4}, false},
+		{"junction zero repair time", Fault{Kind: JunctionFailure, Station: 0}, false},
+		{"segment needs campus dims", Fault{Kind: TubeSegmentFailure, Segment: 0, Duration: 4}, false},
 		{"unknown kind", Fault{Kind: Kind(42), Duration: 1}, false},
 	}
 	for _, c := range cases {
 		err := c.f.Validate(carts, stations, devices)
 		if (err == nil) != c.ok {
 			t.Errorf("%s: Validate(%+v) = %v, want ok=%v", c.name, c.f, err, c.ok)
+		}
+		if err != nil && !errors.Is(err, ErrBadFault) {
+			t.Errorf("%s: error %v must wrap ErrBadFault", c.name, err)
+		}
+	}
+}
+
+func TestFaultValidateDimsCampus(t *testing.T) {
+	d := Dims{Carts: 4, Stations: 24, DevicesPerCart: 16, Segments: 10}
+	cases := []struct {
+		name string
+		f    Fault
+		ok   bool
+	}{
+		{"segment ok", Fault{Kind: TubeSegmentFailure, Segment: 9, Duration: 4}, true},
+		{"segment out of network", Fault{Kind: TubeSegmentFailure, Segment: 10, Duration: 4}, false},
+		{"segment negative", Fault{Kind: TubeSegmentFailure, Segment: -1, Duration: 4}, false},
+		{"segment zero repair time", Fault{Kind: TubeSegmentFailure, Segment: 0}, false},
+		{"junction ok on campus", Fault{Kind: JunctionFailure, Station: 23, Duration: 4}, true},
+	}
+	for _, c := range cases {
+		err := c.f.ValidateDims(d)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: ValidateDims(%+v) = %v, want ok=%v", c.name, c.f, err, c.ok)
 		}
 		if err != nil && !errors.Is(err, ErrBadFault) {
 			t.Errorf("%s: error %v must wrap ErrBadFault", c.name, err)
@@ -93,12 +121,14 @@ func TestScriptSortedIsStableAndNonDestructive(t *testing.T) {
 
 func TestScenarioDeterministicAcrossCalls(t *testing.T) {
 	const horizon = units.Seconds(100)
+	// Campus dims satisfy every scenario, including campus-partition.
+	dims := Dims{Carts: 4, Stations: 4, DevicesPerCart: 16, Segments: 8}
 	for _, name := range ScenarioNames() {
-		a, err := Scenario(name, 7, horizon, 4, 4, 16)
+		a, err := ScenarioDims(name, 7, horizon, dims)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		b, err := Scenario(name, 7, horizon, 4, 4, 16)
+		b, err := ScenarioDims(name, 7, horizon, dims)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -116,9 +146,35 @@ func TestScenarioDeterministicAcrossCalls(t *testing.T) {
 				t.Errorf("%s: faults not time-ordered at %d", name, i)
 			}
 		}
-		if err := a.Validate(4, 4, 16); err != nil {
+		if err := a.ValidateDims(dims); err != nil {
 			t.Errorf("%s: generated script fails its own validation: %v", name, err)
 		}
+	}
+}
+
+func TestScenarioCampusPartitionNeedsSegments(t *testing.T) {
+	// The legacy point-to-point Scenario entry point (Segments=0) must
+	// reject the campus-only scenario with a clear error.
+	if _, err := Scenario(ScenarioCampusPartition, 1, 100, 4, 4, 16); !errors.Is(err, ErrBadScript) {
+		t.Errorf("point-to-point campus-partition: %v, want ErrBadScript", err)
+	}
+	s, err := ScenarioDims(ScenarioCampusPartition, 1, 100, Dims{Carts: 4, Stations: 24, DevicesPerCart: 16, Segments: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var junctions, segments int
+	for _, f := range s.Faults {
+		switch f.Kind {
+		case JunctionFailure:
+			junctions++
+		case TubeSegmentFailure:
+			segments++
+		default:
+			t.Errorf("campus-partition generated non-campus fault %v", f.Kind)
+		}
+	}
+	if junctions == 0 || segments == 0 {
+		t.Errorf("campus-partition should mix junction (%d) and segment (%d) failures", junctions, segments)
 	}
 }
 

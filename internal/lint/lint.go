@@ -103,7 +103,7 @@ type Config struct {
 
 // DefaultConfig is the repository policy for a module rooted at root.
 func DefaultConfig(root, modpath string) Config {
-	model := []string{"physics", "core", "storage", "cart", "netmodel", "sim", "sweep", "fleet", "astra", "faults", "telemetry"}
+	model := []string{"physics", "core", "storage", "cart", "netmodel", "sim", "sweep", "fleet", "astra", "faults", "telemetry", "tubenet"}
 	prefixes := make([]string, len(model))
 	for i, m := range model {
 		prefixes[i] = modpath + "/internal/" + m

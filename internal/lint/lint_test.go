@@ -634,7 +634,7 @@ func TestDefaultConfigCoversModelPackages(t *testing.T) {
 	cfg := DefaultConfig(moduleRoot(t), "repro")
 	want := []string{
 		"repro/internal/physics", "repro/internal/core", "repro/internal/sim",
-		"repro/internal/faults", "repro/internal/telemetry",
+		"repro/internal/faults", "repro/internal/telemetry", "repro/internal/tubenet",
 	}
 	have := map[string]bool{}
 	for _, p := range cfg.ModelPackages {

@@ -52,10 +52,10 @@ type Line struct {
 	trackName map[track.CartID]string
 	trackID   map[track.CartID]telemetry.StrID
 	// active spans: [lo, hi] stop-index ranges currently reserved.
-	active []span
+	active []Span
 	// blocked spans: segments out of service (derailment, maintenance);
 	// moves overlapping a blocked span queue until it clears.
-	blocked []span
+	blocked []Span
 	waiting []func() bool
 	stats   Stats
 
@@ -91,9 +91,26 @@ func (l *Line) SetTelemetry(set *telemetry.Set) {
 	}
 }
 
-type span struct{ lo, hi int }
+// Span is an inclusive [Lo, Hi] stop-index range on a shared rail. It is
+// the unit of rail reservation: a move from stop A to stop B holds the span
+// [min(A,B), max(A,B)], endpoints included — a cart mid-dock blocks through
+// traffic at its stop. The type is exported because the semantics outlive
+// this package: internal/tubenet reuses Span as the conflict domain for
+// spur lines in a campus tube network, so "two moves conflict iff their
+// spans overlap" means the same thing on a two-stop line and a 20-station
+// campus.
+type Span struct{ Lo, Hi int }
 
-func (s span) overlaps(o span) bool { return s.lo <= o.hi && o.lo <= s.hi }
+// NewSpan returns the span covering both stop indices, in either order.
+func NewSpan(a, b int) Span {
+	if a > b {
+		a, b = b, a
+	}
+	return Span{Lo: a, Hi: b}
+}
+
+// Overlaps reports whether the two inclusive ranges share any stop.
+func (s Span) Overlaps(o Span) bool { return s.Lo <= o.Hi && o.Lo <= s.Hi }
 
 // Stats accumulates line-wide accounting.
 type Stats struct {
@@ -258,12 +275,12 @@ func (l *Line) Move(id track.CartID, to int, done func(error)) {
 		done(err)
 		return
 	}
-	sp := span{lo: min(from, to), hi: max(from, to)}
+	sp := NewSpan(from, to)
 	requested := l.Engine.Now()
 	blockedOnce := false
 	tryStart := func() bool {
 		for _, b := range l.blocked {
-			if sp.overlaps(b) {
+			if sp.Overlaps(b) {
 				if !blockedOnce {
 					blockedOnce = true
 					l.stats.BlockedMoves++
@@ -273,7 +290,7 @@ func (l *Line) Move(id track.CartID, to int, done func(error)) {
 			}
 		}
 		for _, a := range l.active {
-			if sp.overlaps(a) {
+			if sp.Overlaps(a) {
 				return false
 			}
 		}
@@ -320,7 +337,7 @@ func (l *Line) Block(lo, hi int) error {
 	if lo < 0 || hi >= len(l.stops) {
 		return fmt.Errorf("%w: segment [%d,%d]", ErrUnknownStop, lo, hi)
 	}
-	l.blocked = append(l.blocked, span{lo: lo, hi: hi})
+	l.blocked = append(l.blocked, Span{Lo: lo, Hi: hi})
 	return nil
 }
 
@@ -330,7 +347,7 @@ func (l *Line) Unblock(lo, hi int) error {
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	want := span{lo: lo, hi: hi}
+	want := Span{Lo: lo, Hi: hi}
 	for i, b := range l.blocked {
 		if b == want {
 			l.blocked = append(l.blocked[:i], l.blocked[i+1:]...)
@@ -344,7 +361,7 @@ func (l *Line) Unblock(lo, hi int) error {
 // BlockedSegments returns the number of active blockades.
 func (l *Line) BlockedSegments() int { return len(l.blocked) }
 
-func (l *Line) release(sp span) {
+func (l *Line) release(sp Span) {
 	for i, a := range l.active {
 		if a == sp {
 			l.active = append(l.active[:i], l.active[i+1:]...)

@@ -382,3 +382,32 @@ func TestBlockadesNest(t *testing.T) {
 		t.Error("out-of-range Block must error")
 	}
 }
+
+// TestSpanOverlapSemantics pins the exported reservation primitive: spans
+// are inclusive ranges, endpoint-sharing counts as conflict (a cart
+// mid-dock blocks through traffic at its stop), and NewSpan normalises
+// argument order. internal/tubenet builds its spur-line conflict domains
+// on exactly these semantics.
+func TestSpanOverlapSemantics(t *testing.T) {
+	cases := []struct {
+		a, b Span
+		want bool
+	}{
+		{Span{0, 1}, Span{1, 2}, true},  // shared endpoint stop
+		{Span{0, 1}, Span{2, 3}, false}, // disjoint
+		{Span{0, 5}, Span{2, 3}, true},  // containment
+		{Span{2, 2}, Span{2, 2}, true},  // degenerate single-stop spans
+		{Span{3, 4}, Span{0, 2}, false}, // disjoint, other order
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(c.a); got != c.want {
+			t.Errorf("overlap must be symmetric: %v vs %v", c.b, c.a)
+		}
+	}
+	if got := NewSpan(4, 1); got != (Span{Lo: 1, Hi: 4}) {
+		t.Errorf("NewSpan(4, 1) = %+v, want normalised {1 4}", got)
+	}
+}

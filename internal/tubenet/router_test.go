@@ -1,0 +1,225 @@
+package tubenet
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// diamond builds the four-node tie-break fixture:
+//
+//	  A(0)
+//	 /    \
+//	B(1)  C(2)
+//	 \    /
+//	  D(3)
+//
+// Both A→B→D and A→C→D cost exactly two identical segments, so the route
+// choice is purely the tie-break rule.
+func diamond(t *testing.T) (*Topology, []units.Seconds) {
+	t.Helper()
+	nodes := []Node{
+		{Name: "A", Docks: 1}, {Name: "B", Docks: 1},
+		{Name: "C", Docks: 1}, {Name: "D", Docks: 1},
+	}
+	edges := []Edge{
+		testEdge(0, 1), // e0: A→B
+		testEdge(0, 2), // e1: A→C
+		testEdge(1, 3), // e2: B→D
+		testEdge(2, 3), // e3: C→D
+	}
+	topo, err := NewTopology(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := topo.TransitTimes(DefaultCartMass, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, base
+}
+
+func allUp(topo *Topology) Liveness {
+	nu := make([]bool, topo.NumNodes())
+	eu := make([]bool, topo.NumEdges())
+	for i := range nu {
+		nu[i] = true
+	}
+	for i := range eu {
+		eu[i] = true
+	}
+	return Liveness{NodeUp: nu, EdgeUp: eu}
+}
+
+func TestEqualCostTieBreakIsDeterministic(t *testing.T) {
+	topo, base := diamond(t)
+	r, err := NewRouter(topo, base, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := allUp(topo)
+	if err := r.Recompute(context.Background(), live, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Equal-cost paths A→B→D and A→C→D: the smaller first-hop EdgeID (e0,
+	// via B) must win, on every recompute, at any worker count.
+	if got := r.NextHop(0, 3); got != 0 {
+		t.Errorf("NextHop(A,D) = e%d, want e0 (smaller first-hop wins ties)", got)
+	}
+	for workers := 1; workers <= 4; workers++ {
+		r2, err := NewRouter(topo, base, 0, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := r2.Recompute(context.Background(), live, nil); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r2.next, r.next) {
+				t.Fatalf("workers=%d recompute %d diverged from sequential table", workers, i)
+			}
+		}
+	}
+}
+
+func TestRouterSkipsZeroCapacityEdge(t *testing.T) {
+	topo, base := diamond(t)
+	// Kill the preferred path's first hop by capacity: e0 (A→B) becomes a
+	// commissioned-but-closed tube.
+	edges := make([]Edge, topo.NumEdges())
+	for i := range edges {
+		edges[i] = topo.Edge(EdgeID(i))
+	}
+	edges[0].Capacity = 0
+	topo2, err := NewTopology([]Node{
+		topo.Node(0), topo.Node(1), topo.Node(2), topo.Node(3),
+	}, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(topo2, base, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Recompute(context.Background(), allUp(topo2), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.NextHop(0, 3); got != 1 {
+		t.Errorf("NextHop(A,D) = e%d, want e1: zero-capacity e0 must never route", got)
+	}
+	if got := r.NextHop(0, 1); got != NoEdge {
+		t.Errorf("NextHop(A,B) = e%d, want NoEdge: B is only reachable over the closed tube", got)
+	}
+}
+
+func TestCongestionWeightShiftsRoute(t *testing.T) {
+	topo, base := diamond(t)
+	r, err := NewRouter(topo, base, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deep queue on e0 makes the B path expensive; the router must shift
+	// to e1 even though the tie-break would prefer e0.
+	queues := make([]int, topo.NumEdges())
+	queues[0] = 5
+	if err := r.Recompute(context.Background(), allUp(topo), queues); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.NextHop(0, 3); got != 1 {
+		t.Errorf("NextHop(A,D) = e%d, want e1 under congestion on e0", got)
+	}
+	if got := r.Epochs(); got != 1 {
+		t.Errorf("Epochs = %d, want 1", got)
+	}
+}
+
+func TestRouterExcludesDeadNodesAndEdges(t *testing.T) {
+	topo, base := diamond(t)
+	r, err := NewRouter(topo, base, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := allUp(topo)
+	live.NodeUp[1] = false // junction B dead
+	if err := r.Recompute(context.Background(), live, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.NextHop(0, 3); got != 1 {
+		t.Errorf("NextHop(A,D) = e%d, want e1 around dead node B", got)
+	}
+	if got := r.NextHop(0, 1); got != NoEdge {
+		t.Errorf("NextHop(A,B) = e%d, want NoEdge to a dead node", got)
+	}
+	live = allUp(topo)
+	live.EdgeUp[0] = false
+	live.EdgeUp[1] = false // both first hops dead: full partition from A
+	if err := r.Recompute(context.Background(), live, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.NextHop(0, 3); got != NoEdge {
+		t.Errorf("NextHop(A,D) = e%d, want NoEdge under full partition", got)
+	}
+	// A dead source routes nowhere at all.
+	live = allUp(topo)
+	live.NodeUp[0] = false
+	if err := r.Recompute(context.Background(), live, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.NextHop(0, 3); got != NoEdge {
+		t.Errorf("NextHop from dead node = e%d, want NoEdge", got)
+	}
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	topo, base := diamond(t)
+	if _, err := NewRouter(nil, nil, 0, 1); err == nil {
+		t.Error("nil topology must be rejected")
+	}
+	if _, err := NewRouter(topo, base[:2], 0, 1); err == nil {
+		t.Error("cost/edge length mismatch must be rejected")
+	}
+	bad := append([]units.Seconds(nil), base...)
+	bad[1] = 0
+	if _, err := NewRouter(topo, bad, 0, 1); err == nil {
+		t.Error("non-positive base cost must be rejected")
+	}
+	// Unrecomputed router answers NoEdge rather than panicking.
+	r, err := NewRouter(topo, base, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.NextHop(0, 3); got != NoEdge {
+		t.Errorf("NextHop before Recompute = %d, want NoEdge", got)
+	}
+}
+
+func TestRouterOnDefaultCampusReachesEverywhere(t *testing.T) {
+	topo, err := NewCampus(DefaultCampusConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := topo.TransitTimes(DefaultCartMass, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(topo, base, 0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Recompute(context.Background(), allUp(topo), nil); err != nil {
+		t.Fatal(err)
+	}
+	n := topo.NumNodes()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			if r.NextHop(NodeID(s), NodeID(d)) == NoEdge {
+				t.Errorf("campus must be fully connected: no route %d→%d", s, d)
+			}
+		}
+	}
+}

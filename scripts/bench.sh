@@ -10,6 +10,7 @@
 #   scripts/bench.sh telemetry                        # instrumentation overhead → BENCH_telemetry.json
 #   scripts/bench.sh kernel                           # event-kernel hot path → BENCH_kernel.json
 #   scripts/bench.sh controlplane                     # dhlload overload run → BENCH_controlplane.json
+#   scripts/bench.sh campus                           # 1000-cart campus chaos run → BENCH_campus.json
 #
 # The telemetry mode runs the enabled/disabled shuttle pair and adds an
 # overhead_pct field (enabled vs disabled best-of-3 ns/op) to the output;
@@ -30,8 +31,31 @@
 # and records p50/p99 latency, offered vs goodput req/s, and shed counts.
 # The run is byte-deterministic — it is executed twice and the outputs
 # compared, so a nondeterminism regression fails the bench itself.
+#
+# The campus mode follows the same pattern over internal/tubenet: the
+# acceptance-scale 1000-cart campus simulation under the campus-partition
+# chaos scenario, recording p50/p99 cart transit time and reroute counts.
+# Seed 3 is pinned because its fault draw exercises the trunk ring, so the
+# recorded run has a non-zero reroute count.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "campus" ]]; then
+    out="BENCH_campus.json"
+    campus_args=(-campus -campus-carts 1000 -campus-trips 2
+                 -chaos campus-partition -seed 3)
+    go run ./cmd/dhlsim "${campus_args[@]}" -bench-out "$out" > /dev/null
+    second="$(mktemp)"
+    trap 'rm -f "$second"' EXIT
+    go run ./cmd/dhlsim "${campus_args[@]}" -bench-out "$second" > /dev/null
+    if ! cmp -s "$out" "$second"; then
+        echo "bench.sh: campus runs diverged — determinism regression" >&2
+        diff "$out" "$second" >&2 || true
+        exit 1
+    fi
+    echo "wrote $out (two runs byte-identical)"
+    exit 0
+fi
 
 if [[ "${1:-}" == "controlplane" ]]; then
     out="BENCH_controlplane.json"

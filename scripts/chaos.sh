@@ -27,6 +27,16 @@ for sc in $scenarios; do
     fi
 done
 
+echo "== chaos campus-partition (seed $seed): campus replay byte-identity"
+campus_args=(-campus -campus-carts 200 -chaos campus-partition -seed "$seed" -fault-log)
+"$tmp/dhlsim" "${campus_args[@]}" >"$tmp/campus.a"
+"$tmp/dhlsim" "${campus_args[@]}" >"$tmp/campus.b"
+if ! cmp -s "$tmp/campus.a" "$tmp/campus.b"; then
+    echo "FAIL: campus-partition replay diverged:" >&2
+    diff "$tmp/campus.a" "$tmp/campus.b" >&2 || true
+    exit 1
+fi
+
 echo "== failure-rate sweep (seed $seed): replay byte-identity"
 "$tmp/dhlsim" -failure-sweep "0,0.1,0.3" -seed "$seed" -read >"$tmp/sweep.a"
 "$tmp/dhlsim" -failure-sweep "0,0.1,0.3" -seed "$seed" -read >"$tmp/sweep.b"
